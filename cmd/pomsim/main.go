@@ -1,0 +1,244 @@
+// Command pomsim integrates the physical oscillator model from command
+// line flags or a scenario JSON — the role of the paper's MATLAB GUI. It
+// prints the settled state, wave metrics, and an ASCII phase strip, and
+// optionally writes the phase-timeline and circle-diagram SVGs.
+//
+// Examples:
+//
+//	pomsim -n 40 -potential tanh -delay-rank 5
+//	pomsim -n 40 -potential desync -sigma 1.5 -offsets=-1,1 -svg out
+//	pomsim -save-config fig2b.json -potential desync -sigma 1.5
+//	pomsim -config fig2b.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/potential"
+	"repro/internal/scenario"
+	"repro/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pomsim: ")
+
+	var (
+		n         = flag.Int("n", 40, "number of oscillators (MPI processes)")
+		potName   = flag.String("potential", "tanh", "interaction potential: tanh | desync | kuramoto")
+		sigma     = flag.Float64("sigma", 1.5, "interaction horizon σ of the desync potential")
+		offsets   = flag.String("offsets", "-1,1", "comma-separated communication stencil offsets")
+		periodic  = flag.Bool("periodic", false, "wrap the stencil into a ring")
+		tComp     = flag.Float64("tcomp", 0.8, "computation phase duration")
+		tComm     = flag.Float64("tcomm", 0.2, "communication phase duration")
+		coupling  = flag.Float64("coupling", 0, "coupling override v_p (0 = βκ/period)")
+		rendez    = flag.Bool("rendezvous", false, "rendezvous protocol (β=2) instead of eager (β=1)")
+		grouped   = flag.Bool("grouped-waitall", false, "κ = max|d| (grouped MPI_Waitall) instead of Σ|d|")
+		delayRank = flag.Int("delay-rank", -1, "rank receiving a one-off delay (-1 = none)")
+		delayAt   = flag.Float64("delay-at", 10, "delay start time")
+		delayLen  = flag.Float64("delay-len", 2, "delay duration")
+		jitter    = flag.Float64("jitter", 0, "Gaussian period noise σ (0 = silent)")
+		commLag   = flag.Float64("comm-lag", 0, "constant interaction delay τ")
+		tEnd      = flag.Float64("t", 150, "integration end time")
+		samples   = flag.Int("samples", 601, "output samples")
+		desyncIC  = flag.Bool("desync-init", false, "start in the developed wavefront state")
+		seed      = flag.Uint64("seed", 1, "noise / perturbation seed")
+		svgDir    = flag.String("svg", "", "directory to write SVG plots into (empty = none)")
+		quiet     = flag.Bool("quiet", false, "suppress the ASCII phase strip")
+		cfgPath   = flag.String("config", "", "load a scenario JSON (replaces the model flags)")
+		savePath  = flag.String("save-config", "", "write the effective scenario JSON and exit")
+	)
+	flag.Parse()
+
+	var spec *scenario.Spec
+	if *cfgPath != "" {
+		loaded, err := scenario.LoadFile(*cfgPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec = loaded
+	} else {
+		offs, err := parseOffsets(*offsets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec = &scenario.Spec{
+			Name:             "pomsim",
+			N:                *n,
+			TComp:            *tComp,
+			TComm:            *tComm,
+			Potential:        scenario.PotentialSpec{Kind: *potName, Sigma: *sigma},
+			Offsets:          offs,
+			Periodic:         *periodic,
+			Rendezvous:       *rendez,
+			GroupedWaitall:   *grouped,
+			CouplingOverride: *coupling,
+			CommLag:          *commLag,
+			TEnd:             *tEnd,
+			Samples:          *samples,
+			PerturbSeed:      *seed,
+		}
+		if *potName == "tanh" || *potName == "kuramoto" {
+			spec.Potential.Sigma = 0
+		}
+		if *delayRank >= 0 {
+			spec.Delays = []scenario.DelaySpec{{
+				Rank: *delayRank, Start: *delayAt, Duration: *delayLen,
+			}}
+		}
+		if *jitter > 0 {
+			spec.Jitter = &scenario.JitterSpec{Dist: "gaussian", Amp: *jitter, Seed: *seed}
+		}
+		switch {
+		case *desyncIC:
+			spec.Init = "desync"
+		case *potName == "desync":
+			spec.Init = "random"
+			spec.PerturbAmp = 0.02
+		}
+	}
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := spec.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("scenario written to %s\n", *savePath)
+		return
+	}
+
+	cfg, runEnd, runSamples, err := spec.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Run(runEnd, runSamples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(spec, m, res, *svgDir, *quiet)
+}
+
+// report prints the run summary and writes optional SVGs.
+func report(spec *scenario.Spec, m *core.Model, res *core.Result, svgDir string, quiet bool) {
+	fmt.Printf("POM run: %s  N=%d potential=%s offsets=%v v_p=%.3g coupling=%.3g\n",
+		spec.Name, spec.N, spec.Potential.Kind, spec.Offsets, m.Vp(), m.Coupling())
+	fmt.Printf("solver: %s\n", res.Stats)
+	fmt.Printf("asymptotic spread: %.4f rad   frequency-locked: %v\n",
+		res.AsymptoticSpread(0.15), res.FrequencyLocked(0.2, 1e-2))
+	if rt, err := res.ResyncTime(0.1); err == nil {
+		fmt.Printf("resynchronized at t = %.2f\n", rt)
+	} else {
+		fmt.Println("no resynchronization (broken-symmetry state)")
+		gaps := res.AsymptoticGaps(0.15)
+		var s float64
+		for _, g := range gaps {
+			if g < 0 {
+				g = -g
+			}
+			s += g
+		}
+		fmt.Printf("mean |adjacent gap| = %.4f", s/float64(len(gaps)))
+		if spec.Potential.Kind == "desync" {
+			fmt.Printf(" (potential stable zero 2σ/3 = %.4f)",
+				potential.NewDesync(spec.Potential.Sigma).StableZero())
+		}
+		fmt.Println()
+	}
+	for _, d := range spec.Delays {
+		if wf, err := res.MeasureWave(d.Rank, d.Start, 0.15); err == nil {
+			fmt.Printf("idle wave from rank %d: speed %.3f ranks/period (R²=%.2f, reached %d ranks)\n",
+				d.Rank, wf.SpeedRanksPerPeriod, wf.R2, wf.Reached)
+		}
+	}
+
+	if !quiet {
+		fmt.Println("\nphase strip (rows: time, columns: ranks; digits = lag behind leader):")
+		fmt.Print(viz.PhaseStrip(res.NormalizedPhases(), 30))
+	}
+
+	if svgDir != "" {
+		if err := writeSVGs(svgDir, res, m); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("SVGs written to %s\n", svgDir)
+	}
+}
+
+// parseOffsets parses "-1,1,-2" into a stencil offset list.
+func parseOffsets(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad offset %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// writeSVGs renders the phase-timeline and final circle diagram.
+func writeSVGs(dir string, res *core.Result, m *core.Model) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	norm := res.NormalizedPhases()
+	plot := viz.LinePlot{
+		Title:  "Normalized phases θᵢ − ωt (lagger baseline)",
+		XLabel: "time", YLabel: "phase [rad]",
+	}
+	stride := m.N() / 8
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < m.N(); i += stride {
+		ys := make([]float64, len(res.Ts))
+		for k := range res.Ts {
+			ys[k] = norm[k][i]
+		}
+		plot.Series = append(plot.Series, viz.Series{
+			Name: fmt.Sprintf("rank %d", i), Xs: res.Ts, Ys: ys,
+		})
+	}
+	if err := os.WriteFile(filepath.Join(dir, "phases.svg"), []byte(plot.SVG()), 0o644); err != nil {
+		return err
+	}
+
+	hm := viz.Heatmap{
+		Title:  "Lag behind leader (white low, red high)",
+		XLabel: "rank", YLabel: "time →",
+		Data: norm,
+	}
+	if err := os.WriteFile(filepath.Join(dir, "lag_heatmap.svg"), []byte(hm.SVG()), 0o644); err != nil {
+		return err
+	}
+
+	final := res.FinalPhases()
+	freqs := res.FrequencyTimeline()
+	var lastFreq []float64
+	if len(freqs) > 0 {
+		lastFreq = freqs[len(freqs)-1]
+	}
+	circ := viz.CircleDiagram{
+		Title:  "Asymptotic phase configuration",
+		Phases: final,
+		Freqs:  lastFreq,
+	}
+	return os.WriteFile(filepath.Join(dir, "circle.svg"), []byte(circ.SVG()), 0o644)
+}

@@ -1,0 +1,47 @@
+// Kuramotocompare: demonstrate why the plain Kuramoto model is unsuitable
+// for parallel programs (paper §2.2.2) by contrasting it with the POM on
+// the same three axes: connectivity, phase slips, and desynchronization.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	res, err := experiments.KuramotoBaseline([]float64{0.2, 0.8, 1.6, 2.4, 4.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("1. Kuramoto synchronization transition (all-to-all, N=150):")
+	var rows [][]string
+	for _, p := range res.Transition {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", p.K), fmt.Sprintf("%.3f", p.R),
+		})
+	}
+	fmt.Print(viz.Table([]string{"K", "r∞"}, rows))
+	fmt.Printf("mean-field critical coupling K_c = %.2f\n\n", res.CriticalCoupling)
+
+	fmt.Println("2. Phase slips: at K = 0.05 << K_c the sine coupling lets")
+	fmt.Printf("   oscillators slip full 2π turns against the mean phase: %d slips\n",
+		res.WeakCouplingSlips)
+	fmt.Println("   in 100 time units. Parallel processes cannot do this — a compute")
+	fmt.Println("   phase cannot start before its messages arrive — which is why the")
+	fmt.Println("   POM potentials are non-periodic.")
+	fmt.Println()
+
+	fmt.Println("3. All-to-all connectivity acts like a synchronizing barrier:")
+	fmt.Printf("   a one-off delay reaches every rank within %.2f periods under\n",
+		res.AllToAllArrivalSpread)
+	fmt.Printf("   all-to-all coupling, but needs %.1f periods to spread across a\n",
+		res.NeighborArrivalSpread)
+	fmt.Println("   ±1 ring — real MPI programs live in the second regime, so the")
+	fmt.Println("   topology matrix T_ij is essential.")
+}

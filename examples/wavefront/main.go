@@ -1,0 +1,63 @@
+// Wavefront: reproduce the computational-wavefront formation of
+// memory-bound programs (paper §5.2.2) twice — once in the oscillator
+// model with the desynchronizing potential, once in the MPI cluster
+// simulator running STREAM on a saturated Meggie socket — and compare the
+// two broken-symmetry states.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/pom"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const n = 20
+	const sigma = 1.5
+
+	// --- Oscillator model side -----------------------------------------
+	cfg := pom.Bottlenecked(n, sigma)
+	model, err := pom.NewModel(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := model.Run(400, 801)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gaps := res.AsymptoticGaps(0.1)
+	var mean float64
+	for _, g := range gaps {
+		mean += math.Abs(g)
+	}
+	mean /= float64(len(gaps))
+	fmt.Printf("model: settled |adjacent gap| = %.4f rad (theory 2σ/3 = %.4f)\n",
+		mean, 2*sigma/3)
+	fmt.Printf("model: frequency locked = %v, asymptotic spread = %.2f rad\n",
+		res.FrequencyLocked(0.2, 1e-2), res.AsymptoticSpread(0.1))
+
+	// --- MPI trace side -------------------------------------------------
+	tp, err := pom.NextNeighbor(n, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := pom.SimulateMPI(pom.Meggie(2), tp, pom.STREAM(), 300, 5, 50, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := sim.Trace
+	dm, err := tr.MeasureDesync(sim.Makespan*0.75, sim.Makespan*0.97, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMPI: residual wavefront spread = %.2f iterations, adjacent skew = %.3f\n",
+		dm.Spread, dm.MeanAbsAdjacent)
+	fmt.Printf("MPI: socket bandwidth pinned at %.1f GB/s (Meggie limit 53)\n",
+		sim.AggregateBandwidth(0)/1e9)
+	fmt.Println("\nBoth substrates settle in a stable desynchronized state after the")
+	fmt.Println("idle wave decays — the computational wavefront of Fig. 2(b).")
+}

@@ -1,0 +1,611 @@
+package cluster
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// event is one scheduled simulation action.
+type event struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+// eventHeap orders events by (time, insertion sequence) for determinism.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// DelayInjection adds extra scalar work to one rank in one iteration —
+// the paper's one-off disturbance that launches an idle wave.
+type DelayInjection struct {
+	// Rank is the disturbed rank.
+	Rank int
+	// Iter is the zero-based iteration receiving the extra work.
+	Iter int
+	// Extra is the additional nominal compute time (s).
+	Extra float64
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// Delays lists one-off delay injections.
+	Delays []DelayInjection
+	// ComputeNoise, when non-nil, returns extra nominal compute seconds
+	// for (rank, iteration) — fine-grained system noise. It must be
+	// deterministic.
+	ComputeNoise func(rank, iter int) float64
+	// MaxTime aborts runs exceeding this simulated time (0 = 1e9 s).
+	MaxTime float64
+}
+
+// Result is a completed simulation.
+type Result struct {
+	// Trace is the full execution record.
+	Trace *trace.Trace
+	// Makespan is the completion time of the slowest rank.
+	Makespan float64
+	// SocketBytes[s] is the memory traffic socket s processed.
+	SocketBytes []float64
+	// Events counts processed simulation events.
+	Events int
+}
+
+// AggregateBandwidth returns the average memory bandwidth of socket s over
+// the run (bytes/s).
+func (r *Result) AggregateBandwidth(s int) float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return r.SocketBytes[s] / r.Makespan
+}
+
+// request is a posted non-blocking receive.
+type request struct {
+	owner *rankState
+	done  bool
+}
+
+// chanKey identifies the ordered (from, to) message channel.
+type chanKey struct{ from, to int }
+
+// channel carries messages between one ordered rank pair, FIFO.
+type channel struct {
+	// arrived holds eager payload arrival times not yet matched.
+	arrived []float64
+	// recvs holds posted, unmatched receive requests.
+	recvs []*request
+	// sends holds blocked rendezvous senders (with message size).
+	sends []*rendezvousSend
+}
+
+// rendezvousSend is a sender blocked in the handshake.
+type rendezvousSend struct {
+	r     *rankState
+	bytes float64
+}
+
+// computeTask is a running compute phase on a socket.
+type computeTask struct {
+	r          *rankState
+	remaining  float64 // nominal seconds left
+	demand     float64 // bytes/s while running at nominal speed
+	rate       float64 // current progress rate in (0, 1]
+	lastUpdate float64
+	version    int64
+}
+
+// socketState tracks the compute tasks sharing one socket's bandwidth.
+type socketState struct {
+	tasks     []*computeTask
+	bytesDone float64
+}
+
+// rankState is one simulated MPI process.
+type rankState struct {
+	id         int
+	prog       Program
+	pc         int
+	iter       int
+	pending    []*request
+	waiting    bool // blocked in Waitall
+	waitingOne bool // blocked in Wait (oldest request)
+	inBarrier  bool
+	done       bool
+	blockStart float64
+	blockKind  trace.SpanKind
+}
+
+// Sim is the discrete-event simulator state.
+type Sim struct {
+	mc             MachineConfig
+	opts           Options
+	now            float64
+	seq            int64
+	events         eventHeap
+	ranks          []*rankState
+	sockets        []*socketState
+	chans          map[chanKey]*channel
+	tr             *trace.Trace
+	barrier        []*rankState
+	allreduce      []*rankState
+	allreduceBytes float64
+	nEvents        int
+	delays         map[[2]int]float64
+	makespan       float64
+}
+
+// NewSim validates inputs and builds a simulator for the given per-rank
+// programs. len(progs) ranks are placed block-wise onto the machine's
+// sockets; the machine must have enough cores.
+func NewSim(mc MachineConfig, progs []Program, opts Options) (*Sim, error) {
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(progs)
+	if n < 1 {
+		return nil, errors.New("cluster: no programs")
+	}
+	if n > mc.Cores() {
+		return nil, fmt.Errorf("cluster: %d ranks exceed %d cores", n, mc.Cores())
+	}
+	s := &Sim{
+		mc:     mc,
+		opts:   opts,
+		chans:  make(map[chanKey]*channel),
+		tr:     trace.NewTrace(n),
+		delays: make(map[[2]int]float64),
+	}
+	for _, d := range opts.Delays {
+		if d.Rank < 0 || d.Rank >= n {
+			return nil, fmt.Errorf("cluster: delay rank %d out of range", d.Rank)
+		}
+		s.delays[[2]int{d.Rank, d.Iter}] += d.Extra
+	}
+	s.ranks = make([]*rankState, n)
+	for i := range s.ranks {
+		if progs[i].Iters < 1 || len(progs[i].Body) == 0 {
+			return nil, fmt.Errorf("cluster: rank %d has an empty program", i)
+		}
+		s.ranks[i] = &rankState{id: i, prog: progs[i]}
+	}
+	s.sockets = make([]*socketState, mc.Sockets)
+	for i := range s.sockets {
+		s.sockets[i] = &socketState{}
+	}
+	return s, nil
+}
+
+// schedule enqueues fn at time t.
+func (s *Sim) schedule(t float64, fn func()) {
+	s.seq++
+	heap.Push(&s.events, &event{t: t, seq: s.seq, fn: fn})
+}
+
+// Run executes the simulation to completion and returns the result.
+func (s *Sim) Run() (*Result, error) {
+	maxTime := s.opts.MaxTime
+	if maxTime <= 0 {
+		maxTime = 1e9
+	}
+	for _, r := range s.ranks {
+		s.step(r)
+	}
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.t < s.now-1e-9 {
+			return nil, fmt.Errorf("cluster: time went backwards (%g after %g)", e.t, s.now)
+		}
+		if e.t > s.now {
+			s.now = e.t
+		}
+		if s.now > maxTime {
+			return nil, fmt.Errorf("cluster: exceeded MaxTime %g", maxTime)
+		}
+		s.nEvents++
+		e.fn()
+	}
+	for _, r := range s.ranks {
+		if !r.done {
+			return nil, fmt.Errorf("cluster: deadlock — rank %d blocked at t=%g (pc=%d iter=%d)",
+				r.id, s.now, r.pc, r.iter)
+		}
+	}
+	res := &Result{
+		Trace:       s.tr,
+		Makespan:    s.makespan,
+		SocketBytes: make([]float64, len(s.sockets)),
+		Events:      s.nEvents,
+	}
+	for i, sock := range s.sockets {
+		res.SocketBytes[i] = sock.bytesDone
+	}
+	if err := s.tr.Validate(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// step runs rank r's interpreter from its current position until the rank
+// blocks or finishes.
+func (s *Sim) step(r *rankState) {
+	for !r.done {
+		if r.pc == len(r.prog.Body) {
+			r.pc = 0
+			r.iter++
+			s.tr.MarkIterEnd(r.id, s.now)
+			if r.iter >= r.prog.Iters {
+				r.done = true
+				if s.now > s.makespan {
+					s.makespan = s.now
+				}
+				return
+			}
+		}
+		switch in := r.prog.Body[r.pc].(type) {
+		case Compute:
+			s.startCompute(r, in)
+			return
+		case Send:
+			if !s.startSend(r, in) {
+				return // blocked (rendezvous handshake or eager overhead)
+			}
+		case Irecv:
+			s.postIrecv(r, in)
+			r.pc++
+		case Waitall:
+			if !s.tryCompleteWaitall(r) {
+				return
+			}
+		case Wait:
+			if !s.tryCompleteWait(r) {
+				return
+			}
+		case Barrier:
+			s.enterBarrier(r)
+			return
+		case Allreduce:
+			s.enterAllreduce(r, in.Bytes)
+			return
+		default:
+			panic(fmt.Sprintf("cluster: unknown instruction %T", r.prog.Body[r.pc]))
+		}
+	}
+}
+
+// resume records the blocked span and continues the rank past the
+// instruction at pc.
+func (s *Sim) resume(r *rankState) {
+	s.tr.Record(r.id, r.blockKind, r.blockStart, s.now)
+	r.pc++
+	s.step(r)
+}
+
+// block marks r blocked on the current instruction.
+func (s *Sim) block(r *rankState, kind trace.SpanKind) {
+	r.blockStart = s.now
+	r.blockKind = kind
+}
+
+// --- compute handling -------------------------------------------------
+
+// startCompute begins a compute phase for r on its socket.
+func (s *Sim) startCompute(r *rankState, in Compute) {
+	dur := in.Seconds
+	if extra, ok := s.delays[[2]int{r.id, r.iter}]; ok {
+		dur += extra
+	}
+	if s.opts.ComputeNoise != nil {
+		dur += s.opts.ComputeNoise(r.id, r.iter)
+	}
+	if dur <= 0 {
+		dur = 1e-12
+	}
+	task := &computeTask{
+		r:          r,
+		remaining:  dur,
+		demand:     in.Bytes / dur,
+		rate:       1,
+		lastUpdate: s.now,
+	}
+	s.block(r, trace.SpanCompute)
+	sock := s.sockets[s.mc.SocketOf(r.id)]
+	s.advanceSocket(sock)
+	sock.tasks = append(sock.tasks, task)
+	s.rebalanceSocket(sock)
+}
+
+// advanceSocket accrues progress of all running tasks up to now.
+func (s *Sim) advanceSocket(sock *socketState) {
+	for _, t := range sock.tasks {
+		dt := s.now - t.lastUpdate
+		if dt > 0 {
+			t.remaining -= dt * t.rate
+			if t.remaining < 0 {
+				t.remaining = 0
+			}
+			sock.bytesDone += t.demand * t.rate * dt
+			t.lastUpdate = s.now
+		}
+	}
+}
+
+// rebalanceSocket recomputes max-min fair rates and reschedules finish
+// events. Callers must advanceSocket first.
+func (s *Sim) rebalanceSocket(sock *socketState) {
+	if len(sock.tasks) == 0 {
+		return
+	}
+	// Max-min fair bandwidth allocation (water-filling).
+	order := make([]*computeTask, len(sock.tasks))
+	copy(order, sock.tasks)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].demand < order[j].demand })
+	remB := s.mc.SocketBandwidth
+	remK := len(order)
+	for _, t := range order {
+		share := remB / float64(remK)
+		if t.demand <= share {
+			t.rate = 1
+			remB -= t.demand
+		} else {
+			t.rate = share / t.demand
+			remB -= share
+		}
+		remK--
+	}
+	// Reschedule finish events with version-based cancellation.
+	for _, t := range order {
+		t.version++
+		v := t.version
+		task := t
+		finish := s.now + t.remaining/t.rate
+		s.schedule(finish, func() {
+			if task.version != v {
+				return // superseded by a later rebalance
+			}
+			s.finishCompute(task)
+		})
+	}
+}
+
+// finishCompute completes a task and resumes its rank.
+func (s *Sim) finishCompute(task *computeTask) {
+	sock := s.sockets[s.mc.SocketOf(task.r.id)]
+	s.advanceSocket(sock)
+	for i, t := range sock.tasks {
+		if t == task {
+			sock.tasks = append(sock.tasks[:i], sock.tasks[i+1:]...)
+			break
+		}
+	}
+	s.rebalanceSocket(sock)
+	s.resume(task.r)
+}
+
+// --- communication handling -------------------------------------------
+
+func (s *Sim) chanFor(from, to int) *channel {
+	key := chanKey{from, to}
+	c := s.chans[key]
+	if c == nil {
+		c = &channel{}
+		s.chans[key] = c
+	}
+	return c
+}
+
+// transferTime returns latency + size/bandwidth for a message between the
+// given ranks, using the faster intra-node parameters when both ranks
+// share a node.
+func (s *Sim) transferTime(from, to int, bytes float64) float64 {
+	lat, bw := s.mc.NetLatency, s.mc.NetBandwidth
+	if s.mc.SameNode(from, to) {
+		if s.mc.IntraNodeLatency > 0 {
+			lat = s.mc.IntraNodeLatency
+		}
+		if s.mc.IntraNodeBandwidth > 0 {
+			bw = s.mc.IntraNodeBandwidth
+		}
+	}
+	return lat + bytes/bw
+}
+
+// interNodeTransferTime is the worst-case (network) transfer time, used
+// for collectives that necessarily cross nodes.
+func (s *Sim) interNodeTransferTime(bytes float64) float64 {
+	return s.mc.NetLatency + bytes/s.mc.NetBandwidth
+}
+
+// startSend executes a Send. It returns true when the instruction
+// completed synchronously (never: both protocols block at least briefly),
+// false when the rank blocked.
+func (s *Sim) startSend(r *rankState, in Send) bool {
+	if in.To < 0 || in.To >= len(s.ranks) || in.To == r.id {
+		panic(fmt.Sprintf("cluster: rank %d sends to invalid rank %d", r.id, in.To))
+	}
+	c := s.chanFor(r.id, in.To)
+	if in.Bytes <= s.mc.EagerThreshold {
+		// Eager: payload is shipped immediately; the sender only pays the
+		// posting overhead.
+		arrival := s.now + s.transferTime(r.id, in.To, in.Bytes)
+		s.schedule(arrival, func() { s.deliverEager(c) })
+		s.block(r, trace.SpanComm)
+		s.schedule(s.now+s.mc.SendOverhead, func() { s.resume(r) })
+		return false
+	}
+	// Rendezvous: wait for a matching posted receive, then transfer.
+	s.block(r, trace.SpanComm)
+	if len(c.recvs) > 0 {
+		req := c.recvs[0]
+		c.recvs = c.recvs[1:]
+		doneAt := s.now + s.transferTime(r.id, in.To, in.Bytes)
+		s.schedule(doneAt, func() {
+			s.completeRequest(req)
+			s.resume(r)
+		})
+	} else {
+		c.sends = append(c.sends, &rendezvousSend{r: r, bytes: in.Bytes})
+	}
+	return false
+}
+
+// deliverEager handles an eager payload arriving at the receiver.
+func (s *Sim) deliverEager(c *channel) {
+	if len(c.recvs) > 0 {
+		req := c.recvs[0]
+		c.recvs = c.recvs[1:]
+		s.completeRequest(req)
+		return
+	}
+	c.arrived = append(c.arrived, s.now)
+}
+
+// postIrecv posts a non-blocking receive for r.
+func (s *Sim) postIrecv(r *rankState, in Irecv) {
+	if in.From < 0 || in.From >= len(s.ranks) || in.From == r.id {
+		panic(fmt.Sprintf("cluster: rank %d receives from invalid rank %d", r.id, in.From))
+	}
+	req := &request{owner: r}
+	r.pending = append(r.pending, req)
+	c := s.chanFor(in.From, r.id)
+	switch {
+	case len(c.arrived) > 0:
+		// Eager payload already here: completes immediately.
+		c.arrived = c.arrived[1:]
+		req.done = true
+	case len(c.sends) > 0:
+		// A rendezvous sender is blocked on us: start the transfer now.
+		snd := c.sends[0]
+		c.sends = c.sends[1:]
+		doneAt := s.now + s.transferTime(in.From, r.id, snd.bytes)
+		sender := snd.r
+		s.schedule(doneAt, func() {
+			s.completeRequest(req)
+			s.resume(sender)
+		})
+	default:
+		c.recvs = append(c.recvs, req)
+	}
+}
+
+// completeRequest marks a receive done and wakes its owner if the owner
+// was blocked in Waitall (all requests complete) or Wait (oldest request
+// complete).
+func (s *Sim) completeRequest(req *request) {
+	req.done = true
+	r := req.owner
+	switch {
+	case r.waiting && allDone(r.pending):
+		r.waiting = false
+		r.pending = r.pending[:0]
+		s.resume(r)
+	case r.waitingOne && len(r.pending) > 0 && r.pending[0].done:
+		r.waitingOne = false
+		r.pending = r.pending[1:]
+		s.resume(r)
+	}
+}
+
+// tryCompleteWaitall returns true when all requests are already complete
+// (Waitall falls through); otherwise it blocks the rank.
+func (s *Sim) tryCompleteWaitall(r *rankState) bool {
+	if allDone(r.pending) {
+		r.pending = r.pending[:0]
+		r.pc++
+		return true
+	}
+	r.waiting = true
+	s.block(r, trace.SpanComm)
+	return false
+}
+
+// tryCompleteWait handles the single-request MPI_Wait: retire the oldest
+// request if complete, otherwise block until it is. An MPI_Wait with no
+// outstanding request is a no-op (matching MPI_REQUEST_NULL semantics).
+func (s *Sim) tryCompleteWait(r *rankState) bool {
+	if len(r.pending) == 0 {
+		r.pc++
+		return true
+	}
+	if r.pending[0].done {
+		r.pending = r.pending[1:]
+		r.pc++
+		return true
+	}
+	r.waitingOne = true
+	s.block(r, trace.SpanComm)
+	return false
+}
+
+func allDone(reqs []*request) bool {
+	for _, q := range reqs {
+		if !q.done {
+			return false
+		}
+	}
+	return true
+}
+
+// enterBarrier blocks r until every rank has arrived.
+func (s *Sim) enterBarrier(r *rankState) {
+	s.block(r, trace.SpanComm)
+	r.inBarrier = true
+	s.barrier = append(s.barrier, r)
+	if len(s.barrier) == len(s.ranks) {
+		release := s.now + s.mc.NetLatency
+		waiters := s.barrier
+		s.barrier = nil
+		for _, w := range waiters {
+			w.inBarrier = false
+			ww := w
+			s.schedule(release, func() { s.resume(ww) })
+		}
+	}
+}
+
+// enterAllreduce blocks r until every rank has contributed, then releases
+// all of them after the reduce+broadcast tree cost
+// 2·⌈log₂N⌉·(latency + bytes/bandwidth).
+func (s *Sim) enterAllreduce(r *rankState, bytes float64) {
+	s.block(r, trace.SpanComm)
+	s.allreduce = append(s.allreduce, r)
+	if bytes > s.allreduceBytes {
+		s.allreduceBytes = bytes
+	}
+	if len(s.allreduce) == len(s.ranks) {
+		depth := 0
+		for 1<<depth < len(s.ranks) {
+			depth++
+		}
+		cost := 2 * float64(depth) * s.interNodeTransferTime(s.allreduceBytes)
+		release := s.now + cost
+		waiters := s.allreduce
+		s.allreduce = nil
+		s.allreduceBytes = 0
+		for _, w := range waiters {
+			ww := w
+			s.schedule(release, func() { s.resume(ww) })
+		}
+	}
+}

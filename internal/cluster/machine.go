@@ -1,0 +1,155 @@
+// Package cluster is a deterministic discrete-event simulator of
+// MPI-parallel bulk-synchronous programs on a cluster — the validation
+// substrate that replaces the paper's Meggie/SuperMUC-NG hardware runs.
+// It models:
+//
+//   - a machine of nodes × sockets × cores with a per-socket shared memory
+//     bandwidth: concurrent memory-bound compute phases on one socket share
+//     the socket bandwidth with max-min fairness, reproducing the
+//     saturation curves of Fig. 1(b) and the bottleneck-evasion physics
+//     behind desynchronization;
+//   - MPI point-to-point semantics: MPI_Send/MPI_Irecv/MPI_Wait(all) with
+//     eager and rendezvous protocols, message latency and link bandwidth;
+//   - per-rank bulk-synchronous programs (compute–communicate cycles),
+//     one-off delay injection, and per-iteration compute noise;
+//   - full execution traces (package trace) in the role of ITAC.
+//
+// All simulation is single-threaded and bit-for-bit reproducible.
+package cluster
+
+import "fmt"
+
+// MachineConfig describes the simulated hardware.
+type MachineConfig struct {
+	// Name labels the preset.
+	Name string
+	// Sockets is the total socket count; ranks fill sockets in order.
+	Sockets int
+	// CoresPerSocket bounds the ranks placed on one socket.
+	CoresPerSocket int
+	// SocketBandwidth is the saturated memory bandwidth per socket
+	// (bytes/s).
+	SocketBandwidth float64
+	// NetLatency is the inter-node point-to-point message latency (s).
+	NetLatency float64
+	// NetBandwidth is the per-message transfer bandwidth (bytes/s).
+	NetBandwidth float64
+	// SocketsPerNode groups sockets into nodes; 0 means every socket is
+	// its own node. Messages between ranks on the same node use
+	// IntraNodeLatency and IntraNodeBandwidth.
+	SocketsPerNode int
+	// IntraNodeLatency is the same-node message latency (s); 0 falls back
+	// to NetLatency.
+	IntraNodeLatency float64
+	// IntraNodeBandwidth is the same-node transfer bandwidth (bytes/s);
+	// 0 falls back to NetBandwidth.
+	IntraNodeBandwidth float64
+	// EagerThreshold is the message size (bytes) up to which the eager
+	// protocol is used; larger messages use rendezvous.
+	EagerThreshold float64
+	// SendOverhead is the CPU time consumed by posting a send (s).
+	SendOverhead float64
+	// Placement selects how ranks map to sockets.
+	Placement Placement
+}
+
+// Placement is the rank-to-socket mapping policy.
+type Placement int
+
+const (
+	// Block fills socket 0 first (ranks 0…c−1), then socket 1, … — the
+	// default MPI process placement the paper's runs use.
+	Block Placement = iota
+	// RoundRobin scatters consecutive ranks across sockets, which spreads
+	// memory-bound neighbors over different bandwidth domains.
+	RoundRobin
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	if p == RoundRobin {
+		return "round-robin"
+	}
+	return "block"
+}
+
+// Validate reports configuration errors.
+func (mc MachineConfig) Validate() error {
+	switch {
+	case mc.Sockets < 1:
+		return fmt.Errorf("cluster: need at least one socket")
+	case mc.CoresPerSocket < 1:
+		return fmt.Errorf("cluster: need at least one core per socket")
+	case mc.SocketBandwidth <= 0:
+		return fmt.Errorf("cluster: socket bandwidth must be positive")
+	case mc.NetLatency < 0 || mc.NetBandwidth <= 0:
+		return fmt.Errorf("cluster: invalid network parameters")
+	case mc.SendOverhead < 0:
+		return fmt.Errorf("cluster: negative send overhead")
+	}
+	return nil
+}
+
+// Cores returns the total core count.
+func (mc MachineConfig) Cores() int { return mc.Sockets * mc.CoresPerSocket }
+
+// SocketOf returns the socket hosting the given rank under the configured
+// placement policy.
+func (mc MachineConfig) SocketOf(rank int) int {
+	if mc.Placement == RoundRobin {
+		return rank % mc.Sockets
+	}
+	return rank / mc.CoresPerSocket
+}
+
+// NodeOf returns the node hosting the given rank.
+func (mc MachineConfig) NodeOf(rank int) int {
+	spn := mc.SocketsPerNode
+	if spn <= 0 {
+		spn = 1
+	}
+	return mc.SocketOf(rank) / spn
+}
+
+// SameNode reports whether two ranks share a node.
+func (mc MachineConfig) SameNode(a, b int) bool { return mc.NodeOf(a) == mc.NodeOf(b) }
+
+// Meggie returns the paper's primary benchmark system: a fat-tree
+// Omni-Path cluster with dual-socket nodes of ten-core Intel Xeon
+// "Broadwell" E5-2630v4 CPUs (2.2 GHz). The effective per-socket STREAM
+// bandwidth is calibrated to the ≈53 GB/s plateau of Fig. 1(b) (the
+// nominal DDR4 peak is 68 GB/s).
+func Meggie(sockets int) MachineConfig {
+	return MachineConfig{
+		Name:               "Meggie",
+		Sockets:            sockets,
+		CoresPerSocket:     10,
+		SocketBandwidth:    53e9,
+		NetLatency:         1.5e-6, // Omni-Path small-message latency
+		NetBandwidth:       12.5e9, // 100 Gbit/s
+		SocketsPerNode:     2,      // dual-socket nodes
+		IntraNodeLatency:   0.4e-6, // shared-memory transport
+		IntraNodeBandwidth: 20e9,
+		EagerThreshold:     16384, // typical PSM2 eager cutoff
+		SendOverhead:       0.3e-6,
+	}
+}
+
+// SuperMUCNG returns the paper's second system (artifact appendix):
+// dual-socket 24-core Skylake SP 8174 nodes with a fat-tree Omni-Path
+// interconnect.
+func SuperMUCNG(sockets int) MachineConfig {
+	return MachineConfig{
+		Name:               "SuperMUC-NG",
+		Sockets:            sockets,
+		CoresPerSocket:     24,
+		SocketBandwidth:    100e9,
+		NetLatency:         1.5e-6,
+		NetBandwidth:       12.5e9,
+		SocketsPerNode:     2,
+		IntraNodeLatency:   0.4e-6,
+		IntraNodeBandwidth: 25e9,
+		EagerThreshold:     16384,
+		SendOverhead:       0.3e-6,
+	}
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Instr is one MPI program instruction. Programs are straight-line
+// per-iteration bodies executed by the engine's interpreter; this keeps
+// the discrete-event core single-threaded and deterministic.
+type Instr interface{ isInstr() }
+
+// Compute models a computation phase with a nominal single-core duration
+// and the memory traffic it moves. On a bandwidth-saturated socket the
+// phase is stretched according to max-min fair sharing.
+type Compute struct {
+	// Seconds is the nominal duration with the socket to itself.
+	Seconds float64
+	// Bytes is the memory traffic of the phase; Bytes/Seconds is the
+	// bandwidth demand while running.
+	Bytes float64
+}
+
+func (Compute) isInstr() {}
+
+// Send is a blocking MPI_Send to an absolute rank. Under the eager
+// protocol it returns after the send overhead; under rendezvous it blocks
+// until the matching receive is posted and the transfer completes.
+type Send struct {
+	// To is the destination rank.
+	To int
+	// Bytes is the message size.
+	Bytes float64
+}
+
+func (Send) isInstr() {}
+
+// Irecv posts a non-blocking MPI_Irecv from an absolute rank; completion
+// is observed by a later Waitall.
+type Irecv struct {
+	// From is the source rank.
+	From int
+	// Bytes is the message size.
+	Bytes float64
+}
+
+func (Irecv) isInstr() {}
+
+// Waitall blocks until every outstanding request of the rank completes
+// (MPI_Waitall over all posted Irecvs and pending rendezvous sends).
+type Waitall struct{}
+
+func (Waitall) isInstr() {}
+
+// Wait blocks until the *oldest* outstanding request completes and
+// retires it (MPI_Wait issued per request) — the separate-waits mode
+// whose κ = Σ|d| rule the paper contrasts with the grouped Waitall's
+// κ = max|d|.
+type Wait struct{}
+
+func (Wait) isInstr() {}
+
+// Barrier is a global MPI_Barrier.
+type Barrier struct{}
+
+func (Barrier) isInstr() {}
+
+// Allreduce is a global reduction of the given payload size, modeled as a
+// synchronization of all ranks plus a 2·⌈log₂N⌉ tree traversal cost
+// (reduce + broadcast) — the collective whose relaxation the paper's
+// companion work [1] studies.
+type Allreduce struct {
+	// Bytes is the reduced payload size.
+	Bytes float64
+}
+
+func (Allreduce) isInstr() {}
+
+// Program is the per-rank executable: Body runs Iters times.
+type Program struct {
+	// Body is the per-iteration instruction sequence.
+	Body []Instr
+	// Iters is the iteration count.
+	Iters int
+}
+
+// Workload describes the per-iteration compute phase of one rank.
+type Workload struct {
+	// Seconds is the nominal single-core compute time per iteration.
+	Seconds float64
+	// Bytes is the memory traffic per iteration.
+	Bytes float64
+}
+
+// BulkSynchronous builds the paper's toy-code structure for every rank:
+// per iteration one Compute phase followed by an exchange with all
+// topology partners (Irecv from each, Send to each, one grouped Waitall) —
+// MPI_Irecv / MPI_Send / MPI_Waitall with short messages, §4.
+func BulkSynchronous(tp *topology.Topology, work Workload, msgBytes float64, iters int) ([]Program, error) {
+	return BulkSynchronousWaits(tp, work, msgBytes, iters, true)
+}
+
+// BulkSynchronousWaits is BulkSynchronous with an explicit wait mode:
+// grouped issues one MPI_Waitall over all requests (κ = max|d|), ungrouped
+// one MPI_Wait per request in posting order (κ = Σ|d|).
+func BulkSynchronousWaits(tp *topology.Topology, work Workload, msgBytes float64, iters int, grouped bool) ([]Program, error) {
+	if iters < 1 {
+		return nil, fmt.Errorf("cluster: need at least one iteration")
+	}
+	if work.Seconds <= 0 {
+		return nil, fmt.Errorf("cluster: compute phase must take time")
+	}
+	neighbors := tp.Neighbors()
+	progs := make([]Program, tp.N)
+	for r := 0; r < tp.N; r++ {
+		var body []Instr
+		body = append(body, Compute{Seconds: work.Seconds, Bytes: work.Bytes})
+		nRecvs := 0
+		for _, nb := range neighbors[r] {
+			body = append(body, Irecv{From: nb, Bytes: msgBytes})
+			nRecvs++
+		}
+		// Matching sends: partner j receives from i when T_ji = 1; with a
+		// symmetric stencil this equals T_ij. For asymmetric stencils
+		// (e.g. d = −2) rank i must send to every rank that lists i.
+		for _, dst := range reverseNeighbors(tp, r) {
+			body = append(body, Send{To: dst, Bytes: msgBytes})
+		}
+		if grouped {
+			body = append(body, Waitall{})
+		} else {
+			for w := 0; w < nRecvs; w++ {
+				body = append(body, Wait{})
+			}
+		}
+		progs[r] = Program{Body: body, Iters: iters}
+	}
+	return progs, nil
+}
+
+// reverseNeighbors returns the ranks that receive from r (rows j with
+// T_jr = 1), in ascending order.
+func reverseNeighbors(tp *topology.Topology, r int) []int {
+	var out []int
+	for j := 0; j < tp.N; j++ {
+		if tp.T.At(j, r) != 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// SpreadTimeline returns the phase spread max θ − min θ of the
+// lagger-normalized phases at every sample: the model's global
+// desynchronization measure. It decays to ~0 for synchronizing potentials
+// and settles at the wavefront plateau for desynchronizing ones.
+func (r *Result) SpreadTimeline() []float64 {
+	out := make([]float64, len(r.Theta))
+	for k, th := range r.Theta {
+		out[k] = stats.PhaseSpread(th)
+	}
+	return out
+}
+
+// OrderTimeline returns the Kuramoto order parameter r(t) at every sample.
+func (r *Result) OrderTimeline() []float64 {
+	out := make([]float64, len(r.Theta))
+	for k, th := range r.Theta {
+		out[k], _ = stats.OrderParameter(th)
+	}
+	return out
+}
+
+// AdjacentGapTimeline returns θ_{i+1} − θ_i for every adjacent pair at
+// every sample (rows: samples; columns: N−1 gaps). In the developed
+// computational wavefront all gaps sit at the potential's stable zero.
+func (r *Result) AdjacentGapTimeline() [][]float64 {
+	out := make([][]float64, len(r.Theta))
+	for k, th := range r.Theta {
+		gaps := make([]float64, len(th)-1)
+		for i := 1; i < len(th); i++ {
+			gaps[i-1] = th[i] - th[i-1]
+		}
+		out[k] = gaps
+	}
+	return out
+}
+
+// ResyncTime returns the first sample time at which the phase spread drops
+// below eps and stays below it for the rest of the run, or an error when
+// the system never resynchronizes. This quantifies the paper's
+// "snaps back into a synchronized state" behaviour.
+func (r *Result) ResyncTime(eps float64) (float64, error) {
+	spread := r.SpreadTimeline()
+	idx := -1
+	for k := len(spread) - 1; k >= 0; k-- {
+		if spread[k] >= eps {
+			break
+		}
+		idx = k
+	}
+	if idx < 0 {
+		return 0, errors.New("core: system did not resynchronize")
+	}
+	return r.Ts[idx], nil
+}
+
+// AsymptoticSpread returns the mean phase spread over the final fraction
+// (e.g. 0.2 for the last 20%) of the run: the settled desynchronization
+// level of the computational wavefront.
+func (r *Result) AsymptoticSpread(finalFraction float64) float64 {
+	n := len(r.Theta)
+	if n == 0 {
+		return 0
+	}
+	start := n - int(float64(n)*finalFraction)
+	if start < 0 {
+		start = 0
+	}
+	if start >= n {
+		start = n - 1
+	}
+	spread := r.SpreadTimeline()
+	var sum float64
+	for k := start; k < n; k++ {
+		sum += spread[k]
+	}
+	return sum / float64(n-start)
+}
+
+// AsymptoticGaps returns the time-averaged adjacent gaps over the final
+// fraction of the run.
+func (r *Result) AsymptoticGaps(finalFraction float64) []float64 {
+	n := len(r.Theta)
+	if n == 0 {
+		return nil
+	}
+	start := n - int(float64(n)*finalFraction)
+	if start < 0 {
+		start = 0
+	}
+	if start >= n {
+		start = n - 1
+	}
+	gaps := make([]float64, r.Model.cfg.N-1)
+	for k := start; k < n; k++ {
+		th := r.Theta[k]
+		for i := 1; i < len(th); i++ {
+			gaps[i-1] += th[i] - th[i-1]
+		}
+	}
+	for i := range gaps {
+		gaps[i] /= float64(n - start)
+	}
+	return gaps
+}
+
+// WaveFront holds the measured propagation of a one-off delay through the
+// oscillator chain.
+type WaveFront struct {
+	// Origin is the delayed rank.
+	Origin int
+	// ArrivalTime[i] is the time the disturbance reached rank i (NaN when
+	// it never did).
+	ArrivalTime []float64
+	// Speed is the fitted propagation speed in ranks per time unit
+	// (absolute value of the regression slope rank-vs-arrival).
+	Speed float64
+	// SpeedRanksPerPeriod is Speed × period: the paper's natural unit.
+	SpeedRanksPerPeriod float64
+	// R2 is the goodness of the linear fit.
+	R2 float64
+	// Reached is the number of ranks the wave arrived at.
+	Reached int
+}
+
+// MeasureWave detects the idle-wave front launched by a one-off delay at
+// rank origin. Each rank's lag behind undisturbed progress,
+// L_i(t) = ω·t − θ_i(t), is zero until the wave reaches it; the arrival
+// time is the first sample where L_i grows by more than threshold radians
+// over its pre-delay value. The front speed is the regression slope of
+// rank distance against arrival time. threshold 0 selects 0.15 rad.
+func (r *Result) MeasureWave(origin int, delayStart float64, threshold float64) (WaveFront, error) {
+	n := r.Model.cfg.N
+	if origin < 0 || origin >= n {
+		return WaveFront{}, errors.New("core: wave origin out of range")
+	}
+	if threshold <= 0 {
+		threshold = 0.15
+	}
+	omega := r.Model.omega
+
+	// Baseline lag right before the delay hits.
+	k0 := 0
+	for k, t := range r.Ts {
+		if t >= delayStart {
+			break
+		}
+		k0 = k
+	}
+	base := make([]float64, n)
+	for i := 0; i < n; i++ {
+		base[i] = omega*r.Ts[k0] - r.Theta[k0][i]
+	}
+
+	wf := WaveFront{Origin: origin, ArrivalTime: make([]float64, n)}
+	for i := range wf.ArrivalTime {
+		wf.ArrivalTime[i] = math.NaN()
+	}
+	for i := 0; i < n; i++ {
+		for k := k0 + 1; k < len(r.Ts); k++ {
+			lag := omega*r.Ts[k] - r.Theta[k][i]
+			if lag-base[i] > threshold {
+				wf.ArrivalTime[i] = r.Ts[k]
+				break
+			}
+		}
+	}
+
+	var xs, ys []float64 // x: arrival time, y: distance from origin
+	for i := 0; i < n; i++ {
+		if math.IsNaN(wf.ArrivalTime[i]) || i == origin {
+			continue
+		}
+		d := i - origin
+		if d < 0 {
+			d = -d
+		}
+		// On a ring the wave can travel both ways; use the shorter arc.
+		if r.Model.cfg.Topology.Periodic && n-d < d {
+			d = n - d
+		}
+		xs = append(xs, wf.ArrivalTime[i])
+		ys = append(ys, float64(d))
+		wf.Reached++
+	}
+	if len(xs) < 3 {
+		return wf, errors.New("core: wave reached too few ranks to fit a speed")
+	}
+	fit, err := stats.FitLine(xs, ys)
+	if err != nil {
+		return wf, err
+	}
+	wf.Speed = math.Abs(fit.Slope)
+	wf.SpeedRanksPerPeriod = wf.Speed * r.Model.period
+	wf.R2 = fit.R2
+	return wf, nil
+}
+
+// FrequencyTimeline returns the numerically differentiated instantaneous
+// frequency of each oscillator (rows: samples−1).
+func (r *Result) FrequencyTimeline() [][]float64 {
+	if len(r.Ts) < 2 {
+		return nil
+	}
+	out := make([][]float64, len(r.Ts)-1)
+	for k := 1; k < len(r.Ts); k++ {
+		dt := r.Ts[k] - r.Ts[k-1]
+		row := make([]float64, len(r.Theta[k]))
+		for i := range row {
+			row[i] = (r.Theta[k][i] - r.Theta[k-1][i]) / dt
+		}
+		out[k-1] = row
+	}
+	return out
+}
+
+// FrequencyLocked reports whether all oscillators share the same mean
+// frequency over the final fraction of the run, to within tol (relative).
+// Both the resynchronized state and the computational wavefront are
+// frequency-locked; free-running noisy oscillators are not.
+func (r *Result) FrequencyLocked(finalFraction, tol float64) bool {
+	n := len(r.Ts)
+	if n < 3 {
+		return false
+	}
+	start := n - int(float64(n)*finalFraction)
+	if start < 0 {
+		start = 0
+	}
+	if start >= n-1 {
+		start = n - 2
+	}
+	dt := r.Ts[n-1] - r.Ts[start]
+	if dt <= 0 {
+		return false
+	}
+	freqs := make([]float64, r.Model.cfg.N)
+	for i := range freqs {
+		freqs[i] = (r.Theta[n-1][i] - r.Theta[start][i]) / dt
+	}
+	lo, hi := freqs[0], freqs[0]
+	for _, f := range freqs[1:] {
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	mid := (lo + hi) / 2
+	if mid == 0 {
+		return hi-lo == 0
+	}
+	return (hi-lo)/math.Abs(mid) <= tol
+}

@@ -1,0 +1,321 @@
+// Package core implements the physical oscillator model (POM) of the
+// paper — its primary contribution. Each of the N MPI processes is an
+// oscillator whose phase θ_i advances by 2π per compute–communicate cycle;
+// the processes are coupled through a sparse topology matrix T and an
+// interaction potential V (Eq. 2):
+//
+//	dθ_i/dt = 2π/(t_comp + t_comm + ζ_i(t))
+//	        + (v_p·G/N) · Σ_j T_ij · V(θ_j(t−τ_ij(t)) − θ_i(t))
+//
+// with process-local noise ζ_i(t), interaction noise τ_ij(t), coupling
+// strength v_p = β·κ/(t_comp+t_comm), and a dimensionless gain G (see
+// Config.Gain). The system is integrated with the adaptive Dormand–Prince
+// solver (delay-capable when τ ≠ 0), exactly as the paper's MATLAB
+// artifact uses ode45.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/noise"
+	"repro/internal/ode"
+	"repro/internal/potential"
+	"repro/internal/topology"
+)
+
+// InitialCondition selects the starting phase configuration (§3.2: the
+// MATLAB tool allows synchronized and desynchronized initial conditions).
+type InitialCondition int
+
+const (
+	// Synchronized starts all oscillators at θ = 0 (lockstep).
+	Synchronized InitialCondition = iota
+	// Desynchronized starts with uniform phase gaps of one stable-zero
+	// width between adjacent oscillators (the developed wavefront).
+	Desynchronized
+	// RandomPhases starts with small random perturbations around zero.
+	RandomPhases
+	// CustomPhases uses Config.InitialPhases verbatim.
+	CustomPhases
+)
+
+// Config fully parameterizes a POM run — the paper emphasizes that the
+// model has a small number of parameters, all exposed here.
+type Config struct {
+	// N is the number of oscillators (MPI processes).
+	N int
+	// TComp and TComm are the compute and communicate phase durations; the
+	// natural period is their sum and the natural frequency 2π/period.
+	TComp, TComm float64
+	// Potential is the interaction potential V.
+	Potential potential.Potential
+	// Topology is the dependency structure T_ij.
+	Topology *topology.Topology
+	// Protocol sets β (eager 1, rendezvous 2).
+	Protocol topology.Protocol
+	// WaitMode sets the κ aggregation rule (Σ|d| vs max|d|).
+	WaitMode topology.WaitMode
+	// CouplingOverride, when > 0, replaces v_p = βκ/period.
+	CouplingOverride float64
+	// Gain is the dimensionless coupling gain G; 0 means the default N
+	// (per-partner pull of strength v_p, which makes βκ = 1 the paper's
+	// "minimum idle wave speed" case). Set Gain = 1 for the literal 1/N
+	// Kuramoto normalization of Eq. (2).
+	Gain float64
+	// LocalNoise is ζ_i(t); nil means silent.
+	LocalNoise noise.Local
+	// InteractionNoise is τ_ij(t); nil means no delays.
+	InteractionNoise noise.Interaction
+	// Init selects the starting condition.
+	Init InitialCondition
+	// InitialPhases is used when Init == CustomPhases.
+	InitialPhases []float64
+	// PerturbSeed seeds the RandomPhases perturbation.
+	PerturbSeed uint64
+	// PerturbAmp is the RandomPhases amplitude (radians); 0 means 0.1.
+	PerturbAmp float64
+	// Atol and Rtol are solver tolerances; 0 selects 1e-8 / 1e-6.
+	Atol, Rtol float64
+}
+
+// Model is a configured POM system ready to integrate.
+type Model struct {
+	cfg       Config
+	period    float64
+	omega     float64
+	vp        float64
+	gain      float64
+	neighbors [][]int
+}
+
+// New validates the configuration and builds a model.
+func New(cfg Config) (*Model, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("core: need N >= 2, got %d", cfg.N)
+	}
+	if cfg.TComp < 0 || cfg.TComm < 0 || cfg.TComp+cfg.TComm <= 0 {
+		return nil, errors.New("core: need tComp + tComm > 0 with nonnegative parts")
+	}
+	if cfg.Potential == nil {
+		return nil, errors.New("core: nil potential")
+	}
+	if cfg.Topology == nil {
+		return nil, errors.New("core: nil topology")
+	}
+	if cfg.Topology.N != cfg.N {
+		return nil, fmt.Errorf("core: topology has %d ranks, config %d", cfg.Topology.N, cfg.N)
+	}
+	if cfg.Init == CustomPhases && len(cfg.InitialPhases) != cfg.N {
+		return nil, fmt.Errorf("core: InitialPhases has %d entries, want %d", len(cfg.InitialPhases), cfg.N)
+	}
+	m := &Model{cfg: cfg}
+	m.period = cfg.TComp + cfg.TComm
+	m.omega = mathx.TwoPi / m.period
+	if cfg.CouplingOverride > 0 {
+		m.vp = cfg.CouplingOverride
+	} else {
+		m.vp = cfg.Topology.Coupling(cfg.Protocol, cfg.WaitMode, cfg.TComp, cfg.TComm)
+	}
+	m.gain = cfg.Gain
+	if m.gain == 0 {
+		m.gain = float64(cfg.N)
+	}
+	m.neighbors = cfg.Topology.Neighbors()
+	return m, nil
+}
+
+// Period returns the natural compute–communicate period.
+func (m *Model) Period() float64 { return m.period }
+
+// Omega returns the natural angular frequency 2π/period.
+func (m *Model) Omega() float64 { return m.omega }
+
+// Coupling returns the effective per-partner coupling strength
+// v_p·G/N used in the right-hand side.
+func (m *Model) Coupling() float64 { return m.vp * m.gain / float64(m.cfg.N) }
+
+// Vp returns the paper's coupling strength v_p = βκ/period (or the
+// override).
+func (m *Model) Vp() float64 { return m.vp }
+
+// N returns the number of oscillators.
+func (m *Model) N() int { return m.cfg.N }
+
+// initialState builds θ(0) according to the configured initial condition.
+func (m *Model) initialState() []float64 {
+	y0 := make([]float64, m.cfg.N)
+	switch m.cfg.Init {
+	case Desynchronized:
+		gap := 0.0
+		if a, ok := m.cfg.Potential.(potential.Analyzable); ok {
+			gap = a.StableZero()
+		}
+		for i := range y0 {
+			y0[i] = float64(i) * gap
+		}
+	case RandomPhases:
+		amp := m.cfg.PerturbAmp
+		if amp == 0 {
+			amp = 0.1
+		}
+		for i := range y0 {
+			// Deterministic hash-based perturbation (no shared RNG state).
+			u := hashUnit(m.cfg.PerturbSeed, i)
+			y0[i] = amp * (2*u - 1)
+		}
+	case CustomPhases:
+		copy(y0, m.cfg.InitialPhases)
+	}
+	return y0
+}
+
+// hashUnit maps (seed, i) to a deterministic uniform in [0, 1).
+func hashUnit(seed uint64, i int) float64 {
+	z := seed ^ 0x9e3779b97f4a7c15
+	z ^= uint64(i+1) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// zeta returns ζ_i(t), guarded so the instantaneous period stays positive.
+func (m *Model) zeta(i int, t float64) float64 {
+	if m.cfg.LocalNoise == nil {
+		return 0
+	}
+	z := m.cfg.LocalNoise.Zeta(i, t)
+	if z < -0.9*m.period {
+		z = -0.9 * m.period
+	}
+	return z
+}
+
+// rhs writes the Eq. (2) right-hand side. past is nil for the pure-ODE
+// path (no interaction noise); then partner phases are read from y.
+func (m *Model) rhs(t float64, y []float64, past ode.Past, dydt []float64) {
+	k := m.vp * m.gain / float64(m.cfg.N)
+	inoise := m.cfg.InteractionNoise
+	for i := range y {
+		freq := mathx.TwoPi / (m.period + m.zeta(i, t))
+		var coupling float64
+		for _, j := range m.neighbors[i] {
+			thj := y[j]
+			if past != nil && inoise != nil {
+				if tau := inoise.Tau(i, j, t); tau > 0 {
+					thj = past.Eval(j, t-tau)
+				}
+			}
+			coupling += m.cfg.Potential.Eval(thj - y[i])
+		}
+		dydt[i] = freq + k*coupling
+	}
+}
+
+// Result is a completed POM integration.
+type Result struct {
+	// Ts are the sample times.
+	Ts []float64
+	// Theta[k][i] is oscillator i's (unwrapped) phase at Ts[k].
+	Theta [][]float64
+	// Stats reports the solver work.
+	Stats ode.Stats
+	// Model echoes the integrated model.
+	Model *Model
+}
+
+// Run integrates the model from t = 0 to tEnd, sampling nSamples points
+// uniformly (including both endpoints).
+func (m *Model) Run(tEnd float64, nSamples int) (*Result, error) {
+	if tEnd <= 0 {
+		return nil, errors.New("core: tEnd must be positive")
+	}
+	if nSamples < 2 {
+		nSamples = 2
+	}
+	atol, rtol := m.cfg.Atol, m.cfg.Rtol
+	if atol == 0 {
+		atol = 1e-8
+	}
+	if rtol == 0 {
+		rtol = 1e-6
+	}
+	solver := ode.NewDOPRI5(atol, rtol)
+	// Cap the step at a quarter period: the noise channels are
+	// piecewise-constant on cells of about one period, and an
+	// unconstrained controller would otherwise grow the step so large in
+	// quiescent phases that a one-off delay window falls between stage
+	// evaluations and is silently skipped.
+	solver.Hmax = 0.25 * m.period
+	samples := mathx.Linspace(0, tEnd, nSamples)
+	y0 := m.initialState()
+
+	var res *ode.Result
+	var err error
+	if m.cfg.InteractionNoise != nil && m.cfg.InteractionNoise.Max() > 0 {
+		res, err = solver.SolveDDE(
+			func(t float64, y []float64, past ode.Past, dydt []float64) {
+				m.rhs(t, y, past, dydt)
+			},
+			y0, 0, tEnd,
+			ode.DDEOptions{SampleTs: samples, MaxDelay: m.cfg.InteractionNoise.Max()},
+		)
+	} else {
+		res, err = solver.Solve(
+			func(t float64, y, dydt []float64) { m.rhs(t, y, nil, dydt) },
+			y0, 0, tEnd,
+			ode.SolveOptions{SampleTs: samples},
+		)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: integration failed: %w", err)
+	}
+	return &Result{Ts: res.Ts, Theta: res.Ys, Stats: res.Stats, Model: m}, nil
+}
+
+// NormalizedPhases returns the paper's standard view (§3.2): θ_i(t) − ω·t,
+// shifted so that the lagger (most delayed oscillator at each sample) is
+// the baseline at zero. Rows index samples, columns oscillators.
+func (r *Result) NormalizedPhases() [][]float64 {
+	omega := r.Model.omega
+	out := make([][]float64, len(r.Ts))
+	for k, th := range r.Theta {
+		row := make([]float64, len(th))
+		minv := math.Inf(1)
+		for i, v := range th {
+			row[i] = v - omega*r.Ts[k]
+			if row[i] < minv {
+				minv = row[i]
+			}
+		}
+		for i := range row {
+			row[i] -= minv
+		}
+		out[k] = row
+	}
+	return out
+}
+
+// PhaseAt returns the phase vector at sample k.
+func (r *Result) PhaseAt(k int) []float64 { return r.Theta[k] }
+
+// FinalPhases returns the last sampled phase vector.
+func (r *Result) FinalPhases() []float64 {
+	if len(r.Theta) == 0 {
+		return nil
+	}
+	return r.Theta[len(r.Theta)-1]
+}
+
+// PotentialTimeline returns V(θ_j − θ_i) for a fixed pair (i, j) over all
+// samples — the third visualization mode of §3.2.
+func (r *Result) PotentialTimeline(i, j int) []float64 {
+	out := make([]float64, len(r.Theta))
+	for k, th := range r.Theta {
+		out[k] = r.Model.cfg.Potential.Eval(th[j] - th[i])
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+func TestCollectiveBarrier(t *testing.T) {
+	res, err := CollectiveBarrier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point-to-point: the wave needs many iterations to cross 32 ranks.
+	if res.P2PArrivalSpreadIters < 5 {
+		t.Errorf("p2p arrival spread = %v iterations, want a traveling wave",
+			res.P2PArrivalSpreadIters)
+	}
+	// Collective: everyone is hit within roughly one iteration.
+	if res.CollectiveArrivalSpreadIters > 1.5 {
+		t.Errorf("collective arrival spread = %v iterations, want ≈ 0 (barrier)",
+			res.CollectiveArrivalSpreadIters)
+	}
+	if res.CollectiveReached < 25 {
+		t.Errorf("collective wave reached only %d ranks", res.CollectiveReached)
+	}
+	if res.CollectiveArrivalSpreadIters*3 > res.P2PArrivalSpreadIters {
+		t.Errorf("no clear contrast: p2p %v vs collective %v",
+			res.P2PArrivalSpreadIters, res.CollectiveArrivalSpreadIters)
+	}
+}

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestFig1aPotentials(t *testing.T) {
+	res, err := Fig1aPotentials(5, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	tanh, desync := res.Rows[0], res.Rows[1]
+	if tanh.Name != "tanh" {
+		t.Errorf("first row = %q", tanh.Name)
+	}
+	// The tanh potential has no positive zero in (0.05, 10].
+	if tanh.MeasuredZero != 0 {
+		t.Errorf("tanh zero = %v, want none", tanh.MeasuredZero)
+	}
+	// The desync potential's first positive zero is at 2σ/3 ≈ 3.333.
+	if math.Abs(desync.MeasuredZero-10.0/3) > 1e-6 {
+		t.Errorf("desync zero = %v, want %v", desync.MeasuredZero, 10.0/3)
+	}
+	if math.Abs(desync.MeasuredZero-desync.StableZero) > 1e-6 {
+		t.Error("measured and analytic zeros disagree")
+	}
+	// Saturation at ±1 beyond the horizon.
+	if y := desync.Ys[len(desync.Ys)-1]; y != 1 {
+		t.Errorf("V(10) = %v, want 1", y)
+	}
+	if _, err := Fig1aPotentials(0, 256); err == nil {
+		t.Error("want error for sigma <= 0")
+	}
+}
+
+func TestFig1bScalability(t *testing.T) {
+	res, err := Fig1bScalability(cluster.Meggie(1), 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 3 {
+		t.Fatalf("curves = %d", len(res.Curves))
+	}
+	byName := map[string]E2Curve{}
+	for _, c := range res.Curves {
+		byName[c.Kernel] = c
+	}
+	stream, sch, pi := byName["STREAM"], byName["SlowSchoenauer"], byName["PISOLVER"]
+	// The paper's Fig. 1(b) ordering: STREAM saturates first, Schönauer
+	// later, PISOLVER never.
+	if stream.SaturationProcs == 0 || sch.SaturationProcs == 0 {
+		t.Fatalf("memory-bound kernels must saturate: %d %d",
+			stream.SaturationProcs, sch.SaturationProcs)
+	}
+	if !(stream.SaturationProcs < sch.SaturationProcs) {
+		t.Errorf("saturation order wrong: STREAM %d, Schönauer %d",
+			stream.SaturationProcs, sch.SaturationProcs)
+	}
+	if pi.SaturationProcs != 0 {
+		t.Errorf("PISOLVER must not saturate, got %d", pi.SaturationProcs)
+	}
+	// Both memory-bound plateaus sit at the socket bandwidth.
+	last := func(c E2Curve) float64 { return c.Points[len(c.Points)-1].BandwidthMBs }
+	if math.Abs(last(stream)-53000) > 2000 {
+		t.Errorf("STREAM plateau = %v MB/s", last(stream))
+	}
+	if math.Abs(last(sch)-53000) > 2000 {
+		t.Errorf("Schönauer plateau = %v MB/s", last(sch))
+	}
+}
+
+func TestFig2PanelScalable(t *testing.T) {
+	row, err := RunFig2Panel(DefaultFig2([]int{-1, 1}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MPI side: idle wave at ≈ 1 rank/iteration, full resynchronization.
+	if row.MPI.WaveSpeed < 0.8 || row.MPI.WaveSpeed > 1.3 {
+		t.Errorf("MPI wave speed = %v, want ≈ 1 rank/iter", row.MPI.WaveSpeed)
+	}
+	if row.MPI.PostSpread > 0.1 {
+		t.Errorf("scalable MPI post-spread = %v, want ≈ 0 (resync)", row.MPI.PostSpread)
+	}
+	// Model side: wave propagates, system resynchronizes.
+	if !row.Model.Resynced {
+		t.Error("model did not resynchronize")
+	}
+	if row.Model.WaveSpeed <= 0 {
+		t.Error("model wave did not propagate")
+	}
+	if row.Model.AsymptoticSpread > 0.1 {
+		t.Errorf("model asymptotic spread = %v", row.Model.AsymptoticSpread)
+	}
+}
+
+func TestFig2PanelBottlenecked(t *testing.T) {
+	p := DefaultFig2([]int{-1, 1}, false)
+	row, err := RunFig2Panel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MPI side: idle wave decays but a computational wavefront remains.
+	if row.MPI.PostSpread < 0.5 {
+		t.Errorf("MPI post-spread = %v, want a residual wavefront", row.MPI.PostSpread)
+	}
+	if row.MPI.PostAdjacentSkew <= 0 {
+		t.Error("MPI adjacent skew must be finite in the wavefront")
+	}
+	// Socket bandwidth pinned at the Meggie limit.
+	if math.Abs(row.MPI.SocketBandwidthGBs-53) > 2 {
+		t.Errorf("socket bandwidth = %v GB/s", row.MPI.SocketBandwidthGBs)
+	}
+	// Model side: no resync; adjacent gaps settle at the stable zero
+	// 2σ/3.
+	if row.Model.Resynced {
+		t.Error("bottlenecked model must not resynchronize")
+	}
+	want := 2 * p.Sigma / 3
+	if math.Abs(row.Model.MeanAbsGap-want) > 0.1 {
+		t.Errorf("model gap = %v, want 2σ/3 = %v", row.Model.MeanAbsGap, want)
+	}
+	if !row.Model.FreqLocked {
+		t.Error("wavefront must be frequency-locked")
+	}
+}
+
+func TestWaveSpeedVsCoupling(t *testing.T) {
+	res, err := WaveSpeedVsCoupling([]float64{0, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Model) != 3 {
+		t.Fatalf("model points = %d", len(res.Model))
+	}
+	free, weak, strong := res.Model[0], res.Model[1], res.Model[2]
+	// βκ ≈ 0: free processes — no wave.
+	if free.Propagated {
+		t.Error("free processes must not propagate a wave")
+	}
+	// Speed grows with coupling (§5.1.1).
+	if !weak.Propagated || !strong.Propagated {
+		t.Fatalf("waves must propagate at βκ ≥ 1: %+v %+v", weak, strong)
+	}
+	if strong.Speed <= weak.Speed {
+		t.Errorf("speed(βκ=4) = %v not above speed(βκ=1) = %v",
+			strong.Speed, weak.Speed)
+	}
+	// MPI side: on the one-sided d=+1 stencil, eager reaches only the
+	// consumer side of the chain, rendezvous (β=2) both sides.
+	if len(res.MPI) != 3 {
+		t.Fatalf("MPI points = %d", len(res.MPI))
+	}
+	eagerOne, rendOne := res.MPI[1], res.MPI[2]
+	if rendOne.Reached < eagerOne.Reached+8 {
+		t.Errorf("rendezvous reached %d ranks, eager %d — want two-sided propagation",
+			rendOne.Reached, eagerOne.Reached)
+	}
+}
+
+func TestStiffnessSweep(t *testing.T) {
+	res, err := StiffnessSweep([]float64{1.0, 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range res.SigmaSweep {
+		// Settled gaps track the analytic 2σ/3 within 15%.
+		if math.Abs(pt.MeanAbsGap-pt.PredictedGap) > 0.15*pt.PredictedGap {
+			t.Errorf("σ=%v: gap %v, predicted %v", pt.Sigma, pt.MeanAbsGap, pt.PredictedGap)
+		}
+	}
+	// Larger σ → larger gaps (stronger desynchronization).
+	if res.SigmaSweep[1].MeanAbsGap <= res.SigmaSweep[0].MeanAbsGap {
+		t.Error("gap must grow with σ")
+	}
+	// §5.2.2: the stiffer topology propagates delays faster in the traces
+	// and settles with smaller gaps in the model.
+	if res.Stiffness.MPISpeedRatio <= 1.5 {
+		t.Errorf("MPI speed ratio = %v, want > 1.5 (paper: ≈3)", res.Stiffness.MPISpeedRatio)
+	}
+	if res.Stiffness.ModelGapRatio >= 1 {
+		t.Errorf("model gap ratio = %v, want < 1", res.Stiffness.ModelGapRatio)
+	}
+}
+
+func TestKuramotoBaseline(t *testing.T) {
+	res, err := KuramotoBaseline([]float64{0.2, 4.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transition[1].R <= res.Transition[0].R {
+		t.Error("order parameter must grow across the transition")
+	}
+	if res.WeakCouplingSlips == 0 {
+		t.Error("weak coupling must show phase slips")
+	}
+	// All-to-all coupling reaches every rank essentially at once; the ±1
+	// ring needs many periods. The paper's "synchronizing barrier"
+	// argument requires a large contrast.
+	if res.AllToAllArrivalSpread*5 > res.NeighborArrivalSpread {
+		t.Errorf("arrival spreads: all-to-all %v vs ±1 %v — want strong contrast",
+			res.AllToAllArrivalSpread, res.NeighborArrivalSpread)
+	}
+}
+
+func TestFig1bSuperMUCNG(t *testing.T) {
+	// The artifact appendix reports the second system: same Fig. 1(b)
+	// shape on the 24-core, 100 GB/s Skylake socket, with saturation
+	// points scaled by the machine balance.
+	res, err := Fig1bScalability(cluster.SuperMUCNG(1), 24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]E2Curve{}
+	for _, c := range res.Curves {
+		byName[c.Kernel] = c
+	}
+	stream, sch, pi := byName["STREAM"], byName["SlowSchoenauer"], byName["PISOLVER"]
+	if stream.SaturationProcs == 0 || sch.SaturationProcs == 0 {
+		t.Fatal("memory-bound kernels must saturate on SuperMUC-NG too")
+	}
+	if !(stream.SaturationProcs < sch.SaturationProcs) {
+		t.Errorf("saturation order: STREAM %d, Schönauer %d",
+			stream.SaturationProcs, sch.SaturationProcs)
+	}
+	if pi.SaturationProcs != 0 {
+		t.Errorf("PISOLVER saturated at %d", pi.SaturationProcs)
+	}
+	// Plateau at the 100 GB/s socket limit.
+	last := stream.Points[len(stream.Points)-1].BandwidthMBs
+	if math.Abs(last-100000) > 3000 {
+		t.Errorf("STREAM plateau = %v MB/s, want ≈ 100000", last)
+	}
+}
+
+func TestFig2AllParallelConsistency(t *testing.T) {
+	// The sweep-parallel Fig2All must return the four panels in order and
+	// agree with the deterministic physics of the serial runners.
+	rows, err := Fig2All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	wantLabels := []string{
+		"d=[-1 1] scalable", "d=[-1 1] bottlenecked",
+		"d=[-2 -1 1] scalable", "d=[-2 -1 1] bottlenecked",
+	}
+	for i, r := range rows {
+		if r.Label != wantLabels[i] {
+			t.Errorf("row %d label = %q, want %q", i, r.Label, wantLabels[i])
+		}
+	}
+	// Scalable panels resync, bottlenecked don't; gaps at 2σ/3 for (b).
+	if !rows[0].Model.Resynced || !rows[2].Model.Resynced {
+		t.Error("scalable panels must resync")
+	}
+	if rows[1].Model.Resynced || rows[3].Model.Resynced {
+		t.Error("bottlenecked panels must not resync")
+	}
+	if math.Abs(rows[1].Model.MeanAbsGap-1.0) > 0.1 {
+		t.Errorf("panel (b) gap = %v, want 1.0", rows[1].Model.MeanAbsGap)
+	}
+	// Stiffer topology: faster MPI wave in (c) than (a).
+	if rows[2].MPI.WaveSpeed <= rows[0].MPI.WaveSpeed {
+		t.Errorf("(c) wave %v not above (a) wave %v",
+			rows[2].MPI.WaveSpeed, rows[0].MPI.WaveSpeed)
+	}
+}

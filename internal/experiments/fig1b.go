@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/kernels"
+)
+
+// E2Curve is one kernel's socket scaling series of Fig. 1(b).
+type E2Curve struct {
+	Kernel string
+	Points []kernels.ScalabilityPoint
+	// SaturationProcs is the process count where the curve reaches 95% of
+	// its plateau (0 = scalable, never saturates).
+	SaturationProcs int
+}
+
+// E2Result reproduces Fig. 1(b).
+type E2Result struct {
+	Machine string
+	Curves  []E2Curve
+}
+
+// Fig1bScalability measures the aggregate memory bandwidth of STREAM, the
+// slow Schönauer triad, and PISOLVER for 1…maxProcs processes on one
+// socket of the given machine.
+func Fig1bScalability(mc cluster.MachineConfig, maxProcs, iters int) (*E2Result, error) {
+	res := &E2Result{Machine: mc.Name}
+	for _, k := range kernels.All() {
+		pts, err := kernels.SocketScalability(mc, k, maxProcs, iters)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: Fig1b %s: %w", k.Name, err)
+		}
+		res.Curves = append(res.Curves, E2Curve{
+			Kernel:          k.Name,
+			Points:          pts,
+			SaturationProcs: kernels.SaturationPoint(pts, 0.95),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNoiseDecay(t *testing.T) {
+	res, err := NoiseDecay([]float64{0, 0.3, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	silent, mid, loud := res.Points[0], res.Points[1], res.Points[2]
+
+	// Noise-free blocking chain: the wave propagates essentially
+	// undamped (decay length far beyond the chain, or +Inf).
+	if !math.IsInf(silent.MPIDecayLen, 1) && silent.MPIDecayLen < 100 {
+		t.Errorf("noise-free MPI decay length = %v, want effectively none", silent.MPIDecayLen)
+	}
+	if silent.MPIAmpAt1 <= 0 || math.Abs(silent.MPIAmpAt10-silent.MPIAmpAt1) > 0.05*silent.MPIAmpAt1 {
+		t.Errorf("noise-free amplitudes must be flat: %v vs %v",
+			silent.MPIAmpAt1, silent.MPIAmpAt10)
+	}
+
+	// Noise shortens the decay length monotonically (traces).
+	if !(mid.MPIDecayLen > loud.MPIDecayLen) {
+		t.Errorf("MPI decay lengths not monotone: %v vs %v",
+			mid.MPIDecayLen, loud.MPIDecayLen)
+	}
+	if math.IsInf(loud.MPIDecayLen, 1) {
+		t.Error("strong noise must damp the wave")
+	}
+
+	// Model: strong noise damps the wave below the intrinsic (diffusive)
+	// decay of the silent system — the §6 question answered positively.
+	if !(loud.ModelDecayLen < silent.ModelDecayLen) {
+		t.Errorf("model decay under strong noise (%v) not below silent (%v)",
+			loud.ModelDecayLen, silent.ModelDecayLen)
+	}
+}
+
+func TestFitDecayLength(t *testing.T) {
+	// Synthetic exponential with λ = 5.
+	var dists, amps []float64
+	for d := 1; d <= 15; d++ {
+		dists = append(dists, float64(d))
+		amps = append(amps, 3*math.Exp(-float64(d)/5))
+	}
+	if got := fitDecayLength(dists, amps); math.Abs(got-5) > 1e-6 {
+		t.Errorf("decay length = %v, want 5", got)
+	}
+	// Flat amplitudes → no decay.
+	flat := []float64{1, 1, 1, 1, 1}
+	if got := fitDecayLength([]float64{1, 2, 3, 4, 5}, flat); !math.IsInf(got, 1) {
+		t.Errorf("flat decay length = %v, want +Inf", got)
+	}
+	// Too few points → +Inf.
+	if got := fitDecayLength([]float64{1, 2}, []float64{1, 0.5}); !math.IsInf(got, 1) {
+		t.Errorf("short fit = %v, want +Inf", got)
+	}
+}

@@ -1,0 +1,131 @@
+package kuramoto
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{N: 1}); err == nil {
+		t.Error("want error for N < 2")
+	}
+	if _, err := New(Config{N: 5, K: -1}); err == nil {
+		t.Error("want error for K < 0")
+	}
+}
+
+func TestDeterministicDraws(t *testing.T) {
+	a, _ := New(Config{N: 10, FreqStd: 1, Seed: 3})
+	b, _ := New(Config{N: 10, FreqStd: 1, Seed: 3})
+	for i := range a.Omegas() {
+		if a.Omegas()[i] != b.Omegas()[i] {
+			t.Fatal("same seed gave different frequencies")
+		}
+	}
+}
+
+func TestIdenticalFrequenciesSyncForAnyPositiveK(t *testing.T) {
+	// σ = 0: all frequencies equal. Any K > 0 must pull spread initial
+	// phases into near-complete synchrony.
+	m, err := New(Config{N: 30, K: 0.5, FreqMean: 1, FreqStd: 0, Seed: 1, SpreadInitial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(200, 201)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.AsymptoticOrder(0.2); r < 0.95 {
+		t.Errorf("identical oscillators r∞ = %v, want near 1", r)
+	}
+}
+
+func TestIncoherenceBelowKc(t *testing.T) {
+	m, _ := New(Config{N: 200, K: 0.1, FreqMean: 0, FreqStd: 1, Seed: 2, SpreadInitial: true})
+	// K = 0.1 << K_c ≈ 1.6: stays incoherent.
+	res, err := m.Run(60, 121)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.AsymptoticOrder(0.25); r > 0.3 {
+		t.Errorf("sub-critical r∞ = %v, want small", r)
+	}
+}
+
+func TestSynchronizationAboveKc(t *testing.T) {
+	m, _ := New(Config{N: 200, K: 4, FreqMean: 0, FreqStd: 1, Seed: 2, SpreadInitial: true})
+	// K = 4 ≈ 2.5·K_c: strong partial synchronization.
+	res, err := m.Run(60, 121)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.AsymptoticOrder(0.25); r < 0.7 {
+		t.Errorf("super-critical r∞ = %v, want large", r)
+	}
+}
+
+func TestCriticalCoupling(t *testing.T) {
+	m, _ := New(Config{N: 10, FreqStd: 1, Seed: 1})
+	want := math.Sqrt(8 / math.Pi)
+	if got := m.CriticalCoupling(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("K_c = %v, want %v", got, want)
+	}
+	m0, _ := New(Config{N: 10, FreqStd: 0, Seed: 1})
+	if m0.CriticalCoupling() != 0 {
+		t.Error("K_c must be 0 for identical frequencies")
+	}
+}
+
+func TestSweepCouplingMonotoneAcrossTransition(t *testing.T) {
+	base := Config{N: 150, FreqMean: 0, FreqStd: 1, Seed: 7, SpreadInitial: true}
+	pts, err := SweepCoupling(base, []float64{0.2, 1.6, 4.0}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if !(pts[0].R < pts[2].R) {
+		t.Errorf("transition not visible: r(0.2)=%v r(4)=%v", pts[0].R, pts[2].R)
+	}
+	if pts[2].R < 0.6 {
+		t.Errorf("strong coupling r = %v, want > 0.6", pts[2].R)
+	}
+}
+
+func TestPhaseSlipsAtWeakCoupling(t *testing.T) {
+	// Well below K_c, drifting oscillators continually slip against the
+	// mean phase — the behaviour the POM potentials forbid.
+	m, _ := New(Config{N: 50, K: 0.05, FreqMean: 0, FreqStd: 1, Seed: 4, SpreadInitial: true})
+	res, err := m.Run(100, 501)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.PhaseSlips(); s == 0 {
+		t.Error("weakly coupled Kuramoto should show phase slips")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	m, _ := New(Config{N: 4, FreqStd: 1, Seed: 1})
+	if _, err := m.Run(0, 10); err == nil {
+		t.Error("want error for tEnd <= 0")
+	}
+}
+
+func TestOrderTimelineLength(t *testing.T) {
+	m, _ := New(Config{N: 10, K: 1, FreqStd: 0.5, Seed: 5, SpreadInitial: true})
+	res, err := m.Run(10, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ot := res.OrderTimeline()
+	if len(ot) != len(res.Ts) {
+		t.Fatalf("timeline length %d vs %d samples", len(ot), len(res.Ts))
+	}
+	for _, r := range ot {
+		if r < 0 || r > 1+1e-9 {
+			t.Fatalf("order parameter out of range: %v", r)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package linalg provides the small dense and sparse matrix types used for
+// topology matrices and coupling computations in the oscillator model.
+// Only stdlib is used; the row-major dense layout and CSR sparse layout
+// follow the usual HPC conventions.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrShape reports incompatible matrix/vector dimensions.
+var ErrShape = errors.New("linalg: incompatible shapes")
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns an r×c zero matrix. It panics for non-positive sizes.
+func NewDense(r, c int) *Dense {
+	if r <= 0 || c <= 0 {
+		panic("linalg: NewDense with non-positive dimensions")
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewDenseFrom builds a matrix from a slice of rows; all rows must have the
+// same length.
+func NewDenseFrom(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, ErrShape
+	}
+	c := len(rows[0])
+	m := NewDense(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			return nil, fmt.Errorf("linalg: ragged row %d: %w", i, ErrShape)
+		}
+		copy(m.data[i*c:(i+1)*c], row)
+	}
+	return m, nil
+}
+
+// Dims returns the matrix dimensions.
+func (m *Dense) Dims() (r, c int) { return m.rows, m.cols }
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// MulVec computes dst = M·x. dst may be nil (allocated) but must not alias
+// x. It returns an error on shape mismatch.
+func (m *Dense) MulVec(dst, x []float64) ([]float64, error) {
+	if len(x) != m.cols {
+		return nil, ErrShape
+	}
+	if dst == nil {
+		dst = make([]float64, m.rows)
+	}
+	if len(dst) != m.rows {
+		return nil, ErrShape
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+	return dst, nil
+}
+
+// Transpose returns a new transposed matrix.
+func (m *Dense) Transpose() *Dense {
+	out := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// IsSymmetric reports whether the matrix equals its transpose to within
+// tol. Non-square matrices are never symmetric.
+func (m *Dense) IsSymmetric(tol float64) bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Frobenius returns the Frobenius norm.
+func (m *Dense) Frobenius() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// RowSums returns the vector of row sums; for a 0/1 topology matrix this is
+// the out-degree of each oscillator.
+func (m *Dense) RowSums() []float64 {
+	out := make([]float64, m.rows)
+	for i := range out {
+		var s float64
+		for _, v := range m.Row(i) {
+			s += v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// NNZ counts entries with |v| > tol.
+func (m *Dense) NNZ(tol float64) int {
+	n := 0
+	for _, v := range m.data {
+		if math.Abs(v) > tol {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders a small matrix for debugging.
+func (m *Dense) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%g", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,216 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	r, c := m.Dims()
+	if r != 2 || c != 3 {
+		t.Fatalf("Dims = %d,%d", r, c)
+	}
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Error("Set/At failed")
+	}
+	if m.At(0, 0) != 0 {
+		t.Error("zero init failed")
+	}
+}
+
+func TestNewDenseFrom(t *testing.T) {
+	m, err := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Error("NewDenseFrom layout wrong")
+	}
+	if _, err := NewDenseFrom([][]float64{{1}, {2, 3}}); err == nil {
+		t.Error("want error for ragged rows")
+	}
+	if _, err := NewDenseFrom(nil); err == nil {
+		t.Error("want error for empty input")
+	}
+}
+
+func TestDenseMulVec(t *testing.T) {
+	m, _ := NewDenseFrom([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	y, err := m.MulVec(nil, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 7, 11}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("MulVec[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	if _, err := m.MulVec(nil, []float64{1}); err == nil {
+		t.Error("want shape error")
+	}
+	if _, err := m.MulVec(make([]float64, 2), []float64{1, 1}); err == nil {
+		t.Error("want dst shape error")
+	}
+}
+
+func TestDenseTransposeInvolution(t *testing.T) {
+	m, _ := NewDenseFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tt := m.Transpose().Transpose()
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if tt.At(i, j) != m.At(i, j) {
+				t.Fatal("transpose not an involution")
+			}
+		}
+	}
+}
+
+func TestDenseSymmetry(t *testing.T) {
+	m, _ := NewDenseFrom([][]float64{{0, 1}, {1, 0}})
+	if !m.IsSymmetric(0) {
+		t.Error("symmetric matrix not detected")
+	}
+	m.Set(0, 1, 2)
+	if m.IsSymmetric(0) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+	rect := NewDense(2, 3)
+	if rect.IsSymmetric(0) {
+		t.Error("rectangular matrix cannot be symmetric")
+	}
+}
+
+func TestDenseFrobeniusRowSumsNNZ(t *testing.T) {
+	m, _ := NewDenseFrom([][]float64{{3, 0}, {0, 4}})
+	if m.Frobenius() != 5 {
+		t.Errorf("Frobenius = %v", m.Frobenius())
+	}
+	rs := m.RowSums()
+	if rs[0] != 3 || rs[1] != 4 {
+		t.Errorf("RowSums = %v", rs)
+	}
+	if m.NNZ(0) != 2 {
+		t.Errorf("NNZ = %d", m.NNZ(0))
+	}
+}
+
+func TestCSRBuildAndAt(t *testing.T) {
+	b := NewBuilder(3, 3)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 1)
+	b.Add(1, 2, 1)
+	b.Add(2, 1, 1)
+	m := b.Build()
+	if m.NNZ() != 4 {
+		t.Fatalf("NNZ = %d", m.NNZ())
+	}
+	if m.At(1, 0) != 1 || m.At(1, 2) != 1 || m.At(1, 1) != 0 {
+		t.Error("At values wrong")
+	}
+	if m.RowNNZ(1) != 2 || m.RowNNZ(0) != 1 {
+		t.Error("RowNNZ wrong")
+	}
+	if !m.IsSymmetric(0) {
+		t.Error("ring topology must be symmetric")
+	}
+}
+
+func TestCSRDuplicatesSummedZerosDropped(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, 2)
+	b.Add(1, 1, 5)
+	b.Add(1, 1, -5)
+	m := b.Build()
+	if m.At(0, 0) != 3 {
+		t.Errorf("duplicate sum = %v", m.At(0, 0))
+	}
+	if m.NNZ() != 1 {
+		t.Errorf("NNZ = %d, want cancelled entry dropped", m.NNZ())
+	}
+}
+
+func TestCSREmptyRows(t *testing.T) {
+	b := NewBuilder(4, 4)
+	b.Add(2, 3, 7)
+	m := b.Build()
+	for _, i := range []int{0, 1, 3} {
+		if m.RowNNZ(i) != 0 {
+			t.Errorf("row %d should be empty", i)
+		}
+	}
+	if m.At(2, 3) != 7 {
+		t.Error("lone entry lost")
+	}
+}
+
+func TestCSRMulVecMatchesDense(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 2 + r.Intn(20)
+		b := NewBuilder(n, n)
+		for k := 0; k < 3*n; k++ {
+			b.Add(r.Intn(n), r.Intn(n), r.Uniform(-2, 2))
+		}
+		m := b.Build()
+		d := m.ToDense()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Uniform(-1, 1)
+		}
+		ys, err1 := m.MulVec(nil, x)
+		yd, err2 := d.MulVec(nil, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range ys {
+			if math.Abs(ys[i]-yd[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSRNeighbors(t *testing.T) {
+	b := NewBuilder(3, 3)
+	b.Add(0, 1, 1)
+	b.Add(0, 2, 1)
+	b.Add(2, 0, 1)
+	m := b.Build()
+	nb := m.Neighbors()
+	if len(nb[0]) != 2 || nb[0][0] != 1 || nb[0][1] != 2 {
+		t.Errorf("neighbors[0] = %v", nb[0])
+	}
+	if len(nb[1]) != 0 {
+		t.Errorf("neighbors[1] = %v", nb[1])
+	}
+}
+
+func TestCSRMulVecShapeErrors(t *testing.T) {
+	m := NewBuilder(2, 2).Build()
+	if _, err := m.MulVec(nil, []float64{1}); err == nil {
+		t.Error("want shape error for x")
+	}
+	if _, err := m.MulVec(make([]float64, 3), []float64{1, 2}); err == nil {
+		t.Error("want shape error for dst")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range Add")
+		}
+	}()
+	NewBuilder(2, 2).Add(2, 0, 1)
+}

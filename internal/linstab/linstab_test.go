@@ -1,0 +1,211 @@
+package linstab
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/potential"
+	"repro/internal/topology"
+)
+
+func TestSymEigDiagonal(t *testing.T) {
+	m, _ := linalg.NewDenseFrom([][]float64{
+		{3, 0, 0}, {0, -1, 0}, {0, 0, 7},
+	})
+	eigs, err := SymEig(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 3, 7}
+	for i := range want {
+		if math.Abs(eigs[i]-want[i]) > 1e-10 {
+			t.Errorf("eig[%d] = %v, want %v", i, eigs[i], want[i])
+		}
+	}
+}
+
+func TestSymEig2x2Analytic(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	m, _ := linalg.NewDenseFrom([][]float64{{2, 1}, {1, 2}})
+	eigs, err := SymEig(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eigs[0]-1) > 1e-10 || math.Abs(eigs[1]-3) > 1e-10 {
+		t.Errorf("eigs = %v, want [1 3]", eigs)
+	}
+}
+
+func TestSymEigRingLaplacian(t *testing.T) {
+	// The N-ring Laplacian (diag 2, neighbors −1) has eigenvalues
+	// 2 − 2cos(2πk/N), k = 0…N−1.
+	n := 8
+	m := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 2)
+		m.Set(i, (i+1)%n, -1)
+		m.Set(i, (i-1+n)%n, -1)
+	}
+	eigs, err := SymEig(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []float64
+	for k := 0; k < n; k++ {
+		want = append(want, 2-2*math.Cos(2*math.Pi*float64(k)/float64(n)))
+	}
+	// Sort analytic values.
+	for i := range want {
+		for j := i + 1; j < len(want); j++ {
+			if want[j] < want[i] {
+				want[i], want[j] = want[j], want[i]
+			}
+		}
+	}
+	for i := range want {
+		if math.Abs(eigs[i]-want[i]) > 1e-9 {
+			t.Errorf("eig[%d] = %v, want %v", i, eigs[i], want[i])
+		}
+	}
+}
+
+func TestSymEigRejectsNonSymmetric(t *testing.T) {
+	m, _ := linalg.NewDenseFrom([][]float64{{1, 2}, {0, 1}})
+	if _, err := SymEig(m); err == nil {
+		t.Error("want error for non-symmetric input")
+	}
+	r := linalg.NewDense(2, 3)
+	if _, err := SymEig(r); err == nil {
+		t.Error("want error for non-square input")
+	}
+}
+
+func TestJacobianValidation(t *testing.T) {
+	tp, _ := topology.NextNeighbor(6, true)
+	if _, err := Jacobian(nil, potential.Tanh{}, make([]float64, 6), 1); err == nil {
+		t.Error("want nil-topology error")
+	}
+	if _, err := Jacobian(tp, potential.Tanh{}, make([]float64, 4), 1); err == nil {
+		t.Error("want length-mismatch error")
+	}
+	asym, _ := topology.NextPlusNextNext(6, true)
+	if _, err := Jacobian(asym, potential.Tanh{}, make([]float64, 6), 1); err == nil {
+		t.Error("want asymmetric-topology error")
+	}
+}
+
+func TestLockstepStableUnderTanh(t *testing.T) {
+	// Synchronized state, tanh potential: stable with exactly one zero
+	// mode (the global phase shift).
+	tp, _ := topology.NextNeighbor(12, true)
+	cl, err := Classify(tp, potential.Tanh{}, LockstepState(12), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Stable {
+		t.Errorf("lockstep+tanh must be stable: %+v", cl)
+	}
+	if cl.ZeroModes != 1 {
+		t.Errorf("zero modes = %d, want 1", cl.ZeroModes)
+	}
+	if cl.Unstable != 0 {
+		t.Errorf("unstable modes = %d", cl.Unstable)
+	}
+}
+
+func TestLockstepUnstableUnderDesync(t *testing.T) {
+	// Synchronized state, desynchronizing potential: V'(0) < 0 flips the
+	// Laplacian sign — every non-uniform mode grows (§5.2.2: "any slight
+	// disturbance blows up").
+	tp, _ := topology.NextNeighbor(12, true)
+	cl, err := Classify(tp, potential.NewDesync(1.5), LockstepState(12), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Stable {
+		t.Error("lockstep+desync must be unstable")
+	}
+	if cl.Unstable != 11 { // all modes except the phase shift
+		t.Errorf("unstable modes = %d, want 11", cl.Unstable)
+	}
+	if cl.MaxEigenvalue <= 0 {
+		t.Errorf("max eigenvalue = %v, want > 0", cl.MaxEigenvalue)
+	}
+}
+
+func TestWavefrontStableWithGoldstoneMode(t *testing.T) {
+	// The developed computational wavefront (gaps at 2σ/3) under the
+	// desynchronizing potential: linearly stable with exactly one zero
+	// eigenvalue — the Goldstone mode of the broken symmetry. This is the
+	// answer to the paper's §6 open question within the model.
+	sigma := 1.5
+	pot := potential.NewDesync(sigma)
+	tp, _ := topology.NextNeighbor(16, false) // open chain admits the tilt
+	state := WavefrontState(16, pot.StableZero())
+	cl, err := Classify(tp, pot, state, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Stable {
+		t.Errorf("wavefront must be stable: unstable=%d zeros=%d max=%v",
+			cl.Unstable, cl.ZeroModes, cl.MaxEigenvalue)
+	}
+	if cl.ZeroModes != 1 {
+		t.Errorf("Goldstone count = %d, want exactly 1", cl.ZeroModes)
+	}
+}
+
+func TestWavefrontUnstableAtWrongGap(t *testing.T) {
+	// A tilt at the potential's *unstable* zero (the origin-side branch,
+	// e.g. gap = 4σ/3 where V' < 0 inside the horizon… use a gap inside
+	// (0, 2σ/3) region where V' < 0 at ±gap) must be unstable.
+	sigma := 1.5
+	pot := potential.NewDesync(sigma)
+	tp, _ := topology.NextNeighbor(12, false)
+	// gap = 0.2: V'(0.2) < 0 (still on the descending branch).
+	cl, err := Classify(tp, pot, WavefrontState(12, 0.2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Unstable == 0 {
+		t.Error("tilt on the repulsive branch must be unstable")
+	}
+}
+
+func TestRelaxationRateGrowsWithCoupling(t *testing.T) {
+	tp, _ := topology.NextNeighbor(10, true)
+	rate := func(k float64) float64 {
+		cl, err := Classify(tp, potential.Tanh{}, LockstepState(10), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Slowest non-zero relaxation rate: second-largest eigenvalue.
+		return -cl.Eigenvalues[len(cl.Eigenvalues)-2]
+	}
+	if !(rate(4) > rate(1)) {
+		t.Errorf("relaxation rate must grow with coupling: %v vs %v", rate(4), rate(1))
+	}
+}
+
+func TestClassifyKuramotoLockstep(t *testing.T) {
+	// sin potential at lockstep behaves like tanh (V'(0) = 1): stable.
+	tp, _ := topology.NextNeighbor(8, true)
+	cl, err := Classify(tp, potential.KuramotoSine{}, LockstepState(8), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Stable {
+		t.Error("Kuramoto lockstep with identical frequencies must be stable")
+	}
+}
+
+func TestWavefrontStateHelper(t *testing.T) {
+	s := WavefrontState(4, 0.5)
+	want := []float64{0, 0.5, 1, 1.5}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("state[%d] = %v", i, s[i])
+		}
+	}
+}

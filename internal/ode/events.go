@@ -1,0 +1,98 @@
+package ode
+
+import (
+	"errors"
+	"math"
+)
+
+// EventFunc is a scalar event indicator g(t, y); an event occurs where g
+// crosses zero. It must not retain y.
+type EventFunc func(t float64, y []float64) float64
+
+// FindRoot locates a zero crossing of g inside the segment by bisection on
+// the dense output, to time tolerance tol. It returns the crossing time
+// and true when g changes sign across the segment; otherwise false.
+func (seg *DenseSegment) FindRoot(g EventFunc, tol float64) (float64, bool) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	buf := make([]float64, len(seg.rcont[0]))
+	eval := func(t float64) float64 { return g(t, seg.Eval(t, buf)) }
+	a, b := seg.T0, seg.End()
+	fa, fb := eval(a), eval(b)
+	switch {
+	case fa == 0:
+		return a, true
+	case fb == 0:
+		return b, true
+	case fa*fb > 0 || math.IsNaN(fa) || math.IsNaN(fb):
+		return 0, false
+	}
+	for b-a > tol {
+		m := (a + b) / 2
+		fm := eval(m)
+		if fm == 0 {
+			return m, true
+		}
+		if fa*fm < 0 {
+			b = m
+		} else {
+			a, fa = m, fm
+		}
+	}
+	return (a + b) / 2, true
+}
+
+// Event is a detected zero crossing.
+type Event struct {
+	// T is the crossing time.
+	T float64
+	// Y is the state at the crossing.
+	Y []float64
+}
+
+// ErrNoEvent reports that the indicator never crossed zero on the
+// integration interval.
+var ErrNoEvent = errors.New("ode: no event detected")
+
+// SolveUntilEvent integrates y' = f from t0 toward t1 and stops at the
+// first zero crossing of g, returning the event and the trajectory up to
+// it. When g never crosses zero the full solution is returned along with
+// ErrNoEvent. The event time is resolved to tol (0 selects 1e-10·(t1−t0)).
+func (s *DOPRI5) SolveUntilEvent(f Func, y0 []float64, t0, t1 float64, g EventFunc, tol float64) (*Event, *Result, error) {
+	if g == nil {
+		return nil, nil, errors.New("ode: nil event function")
+	}
+	if tol <= 0 {
+		tol = 1e-10 * (t1 - t0)
+	}
+	var ev *Event
+	res, err := s.Solve(f, y0, t0, t1, SolveOptions{
+		OnStep: func(seg *DenseSegment) {
+			if ev != nil {
+				return
+			}
+			if tr, ok := seg.FindRoot(g, tol); ok {
+				ev = &Event{T: tr, Y: seg.Eval(tr, nil)}
+			}
+		},
+	})
+	if err != nil {
+		return nil, res, err
+	}
+	if ev == nil {
+		return nil, res, ErrNoEvent
+	}
+	// Trim the recorded trajectory to the event and append the event
+	// state as the final sample.
+	cut := len(res.Ts)
+	for k, t := range res.Ts {
+		if t > ev.T {
+			cut = k
+			break
+		}
+	}
+	res.Ts = append(res.Ts[:cut], ev.T)
+	res.Ys = append(res.Ys[:cut], append([]float64(nil), ev.Y...))
+	return ev, res, nil
+}

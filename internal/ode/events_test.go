@@ -1,0 +1,79 @@
+package ode
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSolveUntilEventHarmonicZeroCrossing(t *testing.T) {
+	// cos(t) crosses zero first at t = π/2.
+	s := NewDOPRI5(1e-10, 1e-10)
+	g := func(_ float64, y []float64) float64 { return y[0] }
+	ev, res, err := s.SolveUntilEvent(harmonic, []float64{1, 0}, 0, 10, g, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ev.T-math.Pi/2) > 1e-8 {
+		t.Errorf("event at %v, want π/2 = %v", ev.T, math.Pi/2)
+	}
+	if math.Abs(ev.Y[0]) > 1e-8 {
+		t.Errorf("state at event: y0 = %v, want 0", ev.Y[0])
+	}
+	// The trajectory must end exactly at the event.
+	if last := res.Ts[len(res.Ts)-1]; last != ev.T {
+		t.Errorf("trajectory ends at %v, want %v", last, ev.T)
+	}
+	for _, ts := range res.Ts[:len(res.Ts)-1] {
+		if ts > ev.T {
+			t.Errorf("sample %v beyond event", ts)
+		}
+	}
+}
+
+func TestSolveUntilEventThreshold(t *testing.T) {
+	// Exponential decay hits 0.5 at t = ln 2.
+	s := NewDOPRI5(1e-10, 1e-10)
+	g := func(_ float64, y []float64) float64 { return y[0] - 0.5 }
+	ev, _, err := s.SolveUntilEvent(expDecay, []float64{1}, 0, 5, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ev.T-math.Ln2) > 1e-8 {
+		t.Errorf("event at %v, want ln2 = %v", ev.T, math.Ln2)
+	}
+}
+
+func TestSolveUntilEventNone(t *testing.T) {
+	s := NewDOPRI5(1e-8, 1e-8)
+	g := func(_ float64, y []float64) float64 { return y[0] + 10 } // never zero
+	_, res, err := s.SolveUntilEvent(expDecay, []float64{1}, 0, 2, g, 0)
+	if !errors.Is(err, ErrNoEvent) {
+		t.Fatalf("err = %v, want ErrNoEvent", err)
+	}
+	if res == nil || len(res.Ts) == 0 {
+		t.Error("full trajectory must still be returned")
+	}
+	if _, _, err := s.SolveUntilEvent(expDecay, []float64{1}, 0, 1, nil, 0); err == nil {
+		t.Error("want error for nil event function")
+	}
+}
+
+func TestFindRootOutsideSegment(t *testing.T) {
+	s := NewDOPRI5(1e-9, 1e-9)
+	res, err := s.Solve(expDecay, []float64{1}, 0, 1, SolveOptions{KeepDense: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := res.Dense[0]
+	// y stays positive on the first segment: no root for y - 2.
+	if _, ok := seg.FindRoot(func(_ float64, y []float64) float64 { return y[0] - 2 }, 0); ok {
+		t.Error("found a root that does not exist")
+	}
+	// Root at segment start when g(a) == 0.
+	y0 := seg.Eval(seg.T0, nil)[0]
+	tr, ok := seg.FindRoot(func(_ float64, y []float64) float64 { return y[0] - y0 }, 0)
+	if !ok || tr != seg.T0 {
+		t.Errorf("boundary root: %v %v", tr, ok)
+	}
+}

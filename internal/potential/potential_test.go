@@ -1,0 +1,199 @@
+package potential
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTanhProperties(t *testing.T) {
+	p := Tanh{}
+	if p.Eval(0) != 0 {
+		t.Error("V(0) must be 0")
+	}
+	// Always attractive: sign(V) == sign(Δθ), saturating at ±1.
+	for _, d := range []float64{0.1, 1, 5, 100} {
+		if v := p.Eval(d); v <= 0 || v > 1 {
+			t.Errorf("V(%v) = %v, want in (0, 1]", d, v)
+		}
+		if v := p.Eval(-d); v >= 0 || v < -1 {
+			t.Errorf("V(%v) = %v, want in [-1, 0)", -d, v)
+		}
+	}
+	if p.StableZero() != 0 {
+		t.Error("tanh stable zero must be lockstep")
+	}
+}
+
+func TestTanhOddSymmetry(t *testing.T) {
+	f := func(d float64) bool {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return true
+		}
+		p := Tanh{}
+		return math.Abs(p.Eval(d)+p.Eval(-d)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDesyncShape(t *testing.T) {
+	sigma := 5.0
+	p := NewDesync(sigma)
+	if p.Eval(0) != 0 {
+		t.Error("V(0) must be 0")
+	}
+	// Short range: repulsive. A slightly leading neighbor (small Δθ > 0)
+	// yields V < 0, pushing i backwards and *growing* the gap — lockstep
+	// is unstable. For a mutually coupled pair with odd V the gap obeys
+	// dΔθ/dt ∝ V(−Δθ) − V(Δθ) = −2V(Δθ), so a fixed point is stable
+	// where V' > 0: the first such zero is Δθ = 2σ/3.
+	if v := p.Eval(0.1); v >= 0 {
+		t.Errorf("V(0.1) = %v, want < 0 (short-range repulsion)", v)
+	}
+	zero := p.StableZero()
+	if math.Abs(zero-2*sigma/3) > 1e-12 {
+		t.Errorf("StableZero = %v, want %v", zero, 2*sigma/3)
+	}
+	if v := p.Eval(zero); math.Abs(v) > 1e-12 {
+		t.Errorf("V(2σ/3) = %v, want 0", v)
+	}
+	// Slope at the stable zero must be positive (see gap dynamics above).
+	h := 1e-6
+	slope := (p.Eval(zero+h) - p.Eval(zero-h)) / (2 * h)
+	if slope <= 0 {
+		t.Errorf("slope at stable zero = %v, want > 0", slope)
+	}
+	// Slope at the origin must be negative (lockstep unstable).
+	slope0 := (p.Eval(h) - p.Eval(-h)) / (2 * h)
+	if slope0 >= 0 {
+		t.Errorf("slope at origin = %v, want < 0", slope0)
+	}
+	// Long range: constant attraction of magnitude 1.
+	for _, d := range []float64{sigma, sigma + 1, 100} {
+		if v := p.Eval(d); v != 1 {
+			t.Errorf("V(%v) = %v, want 1", d, v)
+		}
+		if v := p.Eval(-d); v != -1 {
+			t.Errorf("V(%v) = %v, want -1", -d, v)
+		}
+	}
+}
+
+func TestDesyncContinuityAtHorizon(t *testing.T) {
+	// −sin(3π/2) = +1 at Δθ → σ⁻ matches the constant branch sgn(Δθ) = +1
+	// at Δθ ≥ σ: the potential is continuous at the horizon, as the blue
+	// curve of Fig. 1(a) shows.
+	p := NewDesync(4)
+	eps := 1e-9
+	if v := p.Eval(4 - eps); math.Abs(v-1) > 1e-6 {
+		t.Errorf("V(σ⁻) = %v, want 1", v)
+	}
+	if v := p.Eval(4 + eps); v != 1 {
+		t.Errorf("V(σ⁺) = %v, want 1", v)
+	}
+	if v := p.Eval(-4 - eps); v != -1 {
+		t.Errorf("V(−σ⁻) = %v, want -1", v)
+	}
+}
+
+func TestDesyncOddSymmetry(t *testing.T) {
+	p := NewDesync(3)
+	f := func(d float64) bool {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return true
+		}
+		return math.Abs(p.Eval(d)+p.Eval(-d)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDesyncZerosInsideHorizon(t *testing.T) {
+	// Zeros of sin(3π/(2σ)x) on (0, σ): x = 2σ/3 only (x = 4σ/3 > σ).
+	sigma := 6.0
+	p := NewDesync(sigma)
+	zeros := FindZeros(p, 0.01, sigma-0.01, 2000, 1e-10)
+	if len(zeros) != 1 {
+		t.Fatalf("zeros in (0, σ) = %v, want exactly one", zeros)
+	}
+	if math.Abs(zeros[0]-2*sigma/3) > 1e-6 {
+		t.Errorf("zero at %v, want %v", zeros[0], 2*sigma/3)
+	}
+}
+
+func TestNewDesyncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for sigma <= 0")
+		}
+	}()
+	NewDesync(0)
+}
+
+func TestKuramotoSine(t *testing.T) {
+	p := KuramotoSine{}
+	// Periodicity — the phase-slip property the paper criticizes.
+	f := func(d float64) bool {
+		if math.Abs(d) > 1e6 || math.IsNaN(d) {
+			return true
+		}
+		return math.Abs(p.Eval(d)-p.Eval(d+2*math.Pi)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Zeros at multiples of π (the paper's second objection).
+	if math.Abs(p.Eval(math.Pi)) > 1e-12 {
+		t.Error("sin must vanish at π")
+	}
+}
+
+func TestLinearAndClipped(t *testing.T) {
+	if (Linear{}).Eval(3.5) != 3.5 {
+		t.Error("Linear must be identity")
+	}
+	c := Clipped{Inner: Linear{}, Limit: 2}
+	if c.Eval(5) != 2 || c.Eval(-5) != -2 || c.Eval(1) != 1 {
+		t.Error("Clipped saturation wrong")
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	p := Func{F: math.Cbrt, ID: "cbrt"}
+	if p.Eval(8) != 2 || p.Name() != "cbrt" {
+		t.Error("Func adapter broken")
+	}
+}
+
+func TestSample(t *testing.T) {
+	xs, ys := Sample(Linear{}, -1, 1, 5)
+	if len(xs) != 5 || len(ys) != 5 {
+		t.Fatal("wrong sample length")
+	}
+	if xs[0] != -1 || xs[4] != 1 || ys[2] != 0 {
+		t.Errorf("Sample values: xs=%v ys=%v", xs, ys)
+	}
+	xs, ys = Sample(Linear{}, 2, 9, 1)
+	if xs[0] != 2 || ys[0] != 2 {
+		t.Error("single-point Sample wrong")
+	}
+}
+
+func TestFindZerosLinear(t *testing.T) {
+	zeros := FindZeros(Linear{}, -1, 1, 100, 1e-12)
+	if len(zeros) != 1 || math.Abs(zeros[0]) > 1e-9 {
+		t.Errorf("zeros = %v", zeros)
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, p := range []Potential{Tanh{}, NewDesync(2), KuramotoSine{}, Linear{},
+		Clipped{Inner: Tanh{}, Limit: 1}} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package scenario provides a JSON-serializable description of a complete
+// POM experiment — the counterpart of the parameter panel in the paper's
+// MATLAB GUI. A Spec can be stored next to results, loaded by cmd/pomsim,
+// and built into a validated core.Config.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/noise"
+	"repro/internal/potential"
+	"repro/internal/topology"
+)
+
+// PotentialSpec selects and parameterizes the interaction potential.
+type PotentialSpec struct {
+	// Kind is "tanh", "desync", or "kuramoto".
+	Kind string `json:"kind"`
+	// Sigma is the desync interaction horizon (required for "desync").
+	Sigma float64 `json:"sigma,omitempty"`
+}
+
+// DelaySpec is a one-off delay injection.
+type DelaySpec struct {
+	Rank     int     `json:"rank"`
+	Start    float64 `json:"start"`
+	Duration float64 `json:"duration"`
+	// Extra is the additional period during the window; 0 selects 100
+	// periods (an effective freeze).
+	Extra float64 `json:"extra,omitempty"`
+}
+
+// JitterSpec is frozen background period noise.
+type JitterSpec struct {
+	// Dist is "gaussian", "uniform", or "exponential".
+	Dist string `json:"dist"`
+	// Amp is the distribution scale.
+	Amp float64 `json:"amp"`
+	// Refresh is the cell length; 0 selects one period.
+	Refresh float64 `json:"refresh,omitempty"`
+	Seed    uint64  `json:"seed,omitempty"`
+}
+
+// Spec is a complete, serializable POM scenario.
+type Spec struct {
+	// Name labels the scenario in outputs.
+	Name string `json:"name"`
+	// N is the oscillator count.
+	N int `json:"n"`
+	// TComp and TComm are the phase durations.
+	TComp float64 `json:"tcomp"`
+	TComm float64 `json:"tcomm"`
+	// Potential selects V.
+	Potential PotentialSpec `json:"potential"`
+	// Offsets is the communication stencil; Periodic wraps it.
+	Offsets  []int `json:"offsets"`
+	Periodic bool  `json:"periodic,omitempty"`
+	// Rendezvous selects β = 2; GroupedWaitall selects κ = max|d|.
+	Rendezvous     bool `json:"rendezvous,omitempty"`
+	GroupedWaitall bool `json:"grouped_waitall,omitempty"`
+	// CouplingOverride replaces v_p when positive; Gain scales Eq. (2)'s
+	// 1/N normalization (0 = default N).
+	CouplingOverride float64 `json:"coupling_override,omitempty"`
+	Gain             float64 `json:"gain,omitempty"`
+	// Delays lists one-off injections; Jitter adds background noise;
+	// CommLag adds a constant interaction delay τ.
+	Delays  []DelaySpec `json:"delays,omitempty"`
+	Jitter  *JitterSpec `json:"jitter,omitempty"`
+	CommLag float64     `json:"comm_lag,omitempty"`
+	// Init is "sync" (default), "desync", or "random"; PerturbAmp and
+	// PerturbSeed parameterize "random".
+	Init        string  `json:"init,omitempty"`
+	PerturbAmp  float64 `json:"perturb_amp,omitempty"`
+	PerturbSeed uint64  `json:"perturb_seed,omitempty"`
+	// TEnd and Samples control the integration (defaults 150 / 601).
+	TEnd    float64 `json:"t_end,omitempty"`
+	Samples int     `json:"samples,omitempty"`
+}
+
+// Validate checks the spec without building it.
+func (s *Spec) Validate() error {
+	if s.N < 2 {
+		return fmt.Errorf("scenario: need n >= 2, got %d", s.N)
+	}
+	if s.TComp+s.TComm <= 0 {
+		return fmt.Errorf("scenario: need tcomp + tcomm > 0")
+	}
+	switch s.Potential.Kind {
+	case "tanh", "kuramoto":
+	case "desync":
+		if s.Potential.Sigma <= 0 {
+			return fmt.Errorf("scenario: desync potential needs sigma > 0")
+		}
+	default:
+		return fmt.Errorf("scenario: unknown potential %q", s.Potential.Kind)
+	}
+	if len(s.Offsets) == 0 {
+		return fmt.Errorf("scenario: empty stencil")
+	}
+	switch s.Init {
+	case "", "sync", "desync", "random":
+	default:
+		return fmt.Errorf("scenario: unknown init %q", s.Init)
+	}
+	if s.Jitter != nil {
+		switch s.Jitter.Dist {
+		case "gaussian", "uniform", "exponential":
+		default:
+			return fmt.Errorf("scenario: unknown jitter dist %q", s.Jitter.Dist)
+		}
+	}
+	for i, d := range s.Delays {
+		if d.Rank < 0 || d.Rank >= s.N {
+			return fmt.Errorf("scenario: delay %d rank %d out of range", i, d.Rank)
+		}
+		if d.Duration <= 0 {
+			return fmt.Errorf("scenario: delay %d needs positive duration", i)
+		}
+	}
+	return nil
+}
+
+// Build converts the spec into a validated core.Config plus run controls.
+func (s *Spec) Build() (cfg core.Config, tEnd float64, samples int, err error) {
+	if err = s.Validate(); err != nil {
+		return core.Config{}, 0, 0, err
+	}
+	tp, err := topology.Stencil(s.N, s.Offsets, s.Periodic)
+	if err != nil {
+		return core.Config{}, 0, 0, err
+	}
+	cfg = core.Config{
+		N:                s.N,
+		TComp:            s.TComp,
+		TComm:            s.TComm,
+		Topology:         tp,
+		CouplingOverride: s.CouplingOverride,
+		Gain:             s.Gain,
+		PerturbAmp:       s.PerturbAmp,
+		PerturbSeed:      s.PerturbSeed,
+	}
+	switch s.Potential.Kind {
+	case "tanh":
+		cfg.Potential = potential.Tanh{}
+	case "desync":
+		cfg.Potential = potential.NewDesync(s.Potential.Sigma)
+	case "kuramoto":
+		cfg.Potential = potential.KuramotoSine{}
+	}
+	if s.Rendezvous {
+		cfg.Protocol = topology.Rendezvous
+	}
+	if s.GroupedWaitall {
+		cfg.WaitMode = topology.GroupedWaitall
+	}
+	switch s.Init {
+	case "desync":
+		cfg.Init = core.Desynchronized
+	case "random":
+		cfg.Init = core.RandomPhases
+	}
+	period := s.TComp + s.TComm
+	var local noise.Sum
+	for _, d := range s.Delays {
+		extra := d.Extra
+		if extra == 0 {
+			extra = 100 * period
+		}
+		local = append(local, noise.Delay{
+			Rank: d.Rank, Start: d.Start, Duration: d.Duration, Extra: extra,
+		})
+	}
+	if s.Jitter != nil {
+		j := noise.Jitter{Amp: s.Jitter.Amp, Refresh: s.Jitter.Refresh, Seed: s.Jitter.Seed}
+		if j.Refresh == 0 {
+			j.Refresh = period
+		}
+		switch s.Jitter.Dist {
+		case "uniform":
+			j.Dist = noise.UniformSym
+		case "exponential":
+			j.Dist = noise.Exponential
+		default:
+			j.Dist = noise.Gaussian
+		}
+		local = append(local, j)
+	}
+	if len(local) > 0 {
+		cfg.LocalNoise = local
+	}
+	if s.CommLag > 0 {
+		cfg.InteractionNoise = noise.ConstantLag{Lag: s.CommLag}
+	}
+	tEnd = s.TEnd
+	if tEnd == 0 {
+		tEnd = 150 * period
+	}
+	samples = s.Samples
+	if samples == 0 {
+		samples = 601
+	}
+	return cfg, tEnd, samples, nil
+}
+
+// Load reads a Spec from JSON.
+func Load(r io.Reader) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: decoding: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadFile reads a Spec from a JSON file.
+func LoadFile(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Save writes the Spec as indented JSON.
+func (s *Spec) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Fig2Panel returns the spec of one Fig. 2 panel, ready to save or run.
+func Fig2Panel(offsets []int, scalable bool, sigma float64) *Spec {
+	s := &Spec{
+		Name:    "fig2",
+		N:       40,
+		TComp:   0.8,
+		TComm:   0.2,
+		Offsets: offsets,
+		Delays:  []DelaySpec{{Rank: 5, Start: 50, Duration: 2.5}},
+		TEnd:    400,
+		Samples: 4001,
+	}
+	if scalable {
+		s.Potential = PotentialSpec{Kind: "tanh"}
+	} else {
+		s.Potential = PotentialSpec{Kind: "desync", Sigma: sigma}
+		s.Init = "random"
+		s.PerturbAmp = 0.02
+		s.PerturbSeed = 1
+	}
+	return s
+}

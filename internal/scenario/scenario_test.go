@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/noise"
+)
+
+func validSpec() *Spec {
+	return &Spec{
+		Name:      "test",
+		N:         12,
+		TComp:     0.8,
+		TComm:     0.2,
+		Potential: PotentialSpec{Kind: "tanh"},
+		Offsets:   []int{-1, 1},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"small n", func(s *Spec) { s.N = 1 }},
+		{"zero period", func(s *Spec) { s.TComp, s.TComm = 0, 0 }},
+		{"bad potential", func(s *Spec) { s.Potential.Kind = "magic" }},
+		{"desync no sigma", func(s *Spec) { s.Potential = PotentialSpec{Kind: "desync"} }},
+		{"empty stencil", func(s *Spec) { s.Offsets = nil }},
+		{"bad init", func(s *Spec) { s.Init = "weird" }},
+		{"bad jitter", func(s *Spec) { s.Jitter = &JitterSpec{Dist: "cauchy", Amp: 1} }},
+		{"delay rank", func(s *Spec) { s.Delays = []DelaySpec{{Rank: 99, Duration: 1}} }},
+		{"delay duration", func(s *Spec) { s.Delays = []DelaySpec{{Rank: 1, Duration: 0}} }},
+	}
+	for _, c := range cases {
+		s := validSpec()
+		c.mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestBuildDefaults(t *testing.T) {
+	cfg, tEnd, samples, err := validSpec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.N != 12 || cfg.Potential == nil || cfg.Topology == nil {
+		t.Errorf("cfg incomplete: %+v", cfg)
+	}
+	if tEnd != 150 || samples != 601 {
+		t.Errorf("defaults: tEnd=%v samples=%d", tEnd, samples)
+	}
+}
+
+func TestBuildFullSpec(t *testing.T) {
+	s := validSpec()
+	s.Potential = PotentialSpec{Kind: "desync", Sigma: 2}
+	s.Rendezvous = true
+	s.GroupedWaitall = true
+	s.Init = "random"
+	s.PerturbAmp = 0.05
+	s.Delays = []DelaySpec{{Rank: 3, Start: 10, Duration: 2}}
+	s.Jitter = &JitterSpec{Dist: "uniform", Amp: 0.1, Seed: 4}
+	s.CommLag = 0.05
+	s.TEnd = 77
+	s.Samples = 321
+	cfg, tEnd, samples, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tEnd != 77 || samples != 321 {
+		t.Errorf("controls: %v %v", tEnd, samples)
+	}
+	if cfg.LocalNoise == nil || cfg.InteractionNoise == nil {
+		t.Error("noise channels not built")
+	}
+	// The default delay Extra is 100 periods.
+	sum, ok := cfg.LocalNoise.(noise.Sum)
+	if !ok || len(sum) != 2 {
+		t.Fatalf("LocalNoise = %T", cfg.LocalNoise)
+	}
+	if d, ok := sum[0].(noise.Delay); !ok || d.Extra != 100 {
+		t.Errorf("delay extra = %+v", sum[0])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := Fig2Panel([]int{-2, -1, 1}, false, 1.5)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != s.N || back.Potential.Sigma != 1.5 || len(back.Offsets) != 3 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if back.Init != "random" {
+		t.Errorf("init = %q", back.Init)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"n": 4, "bogus": true}`)); err == nil {
+		t.Error("want error for unknown field")
+	}
+	if _, err := Load(strings.NewReader(`{`)); err == nil {
+		t.Error("want error for malformed JSON")
+	}
+	if _, err := Load(strings.NewReader(`{"n": 1}`)); err == nil {
+		t.Error("want validation error")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/path.json"); err == nil {
+		t.Error("want error for missing file")
+	}
+}
+
+// TestSpecRunsEndToEnd builds and integrates a scenario, checking the
+// wavefront physics still emerges from the serialized description.
+func TestSpecRunsEndToEnd(t *testing.T) {
+	s := validSpec()
+	s.Potential = PotentialSpec{Kind: "desync", Sigma: 1.2}
+	s.Init = "random"
+	s.PerturbAmp = 0.02
+	s.PerturbSeed = 3
+	s.TEnd = 300
+	s.Samples = 301
+	cfg, tEnd, samples, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(tEnd, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := res.AsymptoticGaps(0.1)
+	want := 2 * 1.2 / 3
+	var mean float64
+	for _, g := range gaps {
+		mean += math.Abs(g)
+	}
+	mean /= float64(len(gaps))
+	if math.Abs(mean-want) > 0.12 {
+		t.Errorf("gap = %v, want %v", mean, want)
+	}
+}

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// OrderParameter returns the Kuramoto order parameter r ∈ [0, 1] and the
+// mean phase ψ of a set of oscillator phases:
+//
+//	r·e^{iψ} = (1/N) Σ_j e^{iθ_j}
+//
+// r = 1 means perfect synchrony, r ≈ 0 a uniformly spread (incoherent or
+// perfectly desynchronized) phase distribution. This is the classic global
+// synchrony measure used to compare POM against the plain Kuramoto model.
+func OrderParameter(theta []float64) (r, psi float64) {
+	n := len(theta)
+	if n == 0 {
+		return 0, 0
+	}
+	var sx, sy float64
+	for _, th := range theta {
+		s, c := math.Sincos(th)
+		sy += s
+		sx += c
+	}
+	sx /= float64(n)
+	sy /= float64(n)
+	return math.Hypot(sx, sy), math.Atan2(sy, sx)
+}
+
+// PhaseSpread returns the maximum pairwise spread max θ − min θ of an
+// unwrapped phase vector. For POM (non-periodic potentials, unwrapped
+// phases) this is the natural desynchronization measure: zero in lockstep,
+// and settling at (N−1)·2σ/3 in the fully developed computational
+// wavefront of the desynchronizing potential.
+func PhaseSpread(theta []float64) float64 {
+	lo, hi, err := mathx.MinMax(theta)
+	if err != nil {
+		return 0
+	}
+	return hi - lo
+}
+
+// AdjacentDiffs fills dst with θ_{i+1} − θ_i and returns it.
+func AdjacentDiffs(dst, theta []float64) []float64 {
+	return mathx.Diff(dst, theta)
+}
+
+// CircularMean returns the circular mean angle of the sample in (-π, π].
+func CircularMean(theta []float64) float64 {
+	_, psi := OrderParameter(theta)
+	return psi
+}
+
+// CircularVariance returns 1 − r, a [0, 1] dispersion measure of phases on
+// the circle.
+func CircularVariance(theta []float64) float64 {
+	r, _ := OrderParameter(theta)
+	return 1 - r
+}
+
+// LocalOrderParameter returns the order parameter restricted to each
+// oscillator's neighborhood defined by neighbor lists. It distinguishes
+// locally synchronized traveling waves (high local, low global order) from
+// global synchrony. neighbors[i] lists the indices coupled to i.
+func LocalOrderParameter(theta []float64, neighbors [][]int) []float64 {
+	out := make([]float64, len(theta))
+	buf := make([]float64, 0, 8)
+	for i := range theta {
+		buf = buf[:0]
+		buf = append(buf, theta[i])
+		for _, j := range neighbors[i] {
+			if j >= 0 && j < len(theta) {
+				buf = append(buf, theta[j])
+			}
+		}
+		r, _ := OrderParameter(buf)
+		out[i] = r
+	}
+	return out
+}

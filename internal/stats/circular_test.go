@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestOrderParameterSync(t *testing.T) {
+	theta := []float64{0.7, 0.7, 0.7, 0.7}
+	r, psi := OrderParameter(theta)
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("r = %v, want 1 for identical phases", r)
+	}
+	if math.Abs(psi-0.7) > 1e-12 {
+		t.Errorf("psi = %v, want 0.7", psi)
+	}
+}
+
+func TestOrderParameterUniformSpread(t *testing.T) {
+	// N phases uniformly around the circle: r must vanish.
+	n := 16
+	theta := make([]float64, n)
+	for i := range theta {
+		theta[i] = mathx.TwoPi * float64(i) / float64(n)
+	}
+	r, _ := OrderParameter(theta)
+	if r > 1e-12 {
+		t.Errorf("r = %v, want 0 for uniform spread", r)
+	}
+}
+
+func TestOrderParameterEmpty(t *testing.T) {
+	r, psi := OrderParameter(nil)
+	if r != 0 || psi != 0 {
+		t.Errorf("empty: r=%v psi=%v", r, psi)
+	}
+}
+
+func TestOrderParameterAntipodal(t *testing.T) {
+	r, _ := OrderParameter([]float64{0, math.Pi})
+	if r > 1e-12 {
+		t.Errorf("antipodal pair r = %v, want 0", r)
+	}
+}
+
+func TestPhaseSpread(t *testing.T) {
+	if got := PhaseSpread([]float64{1, 3, 2}); got != 2 {
+		t.Errorf("PhaseSpread = %v", got)
+	}
+	if got := PhaseSpread(nil); got != 0 {
+		t.Errorf("empty PhaseSpread = %v", got)
+	}
+	if got := PhaseSpread([]float64{5}); got != 0 {
+		t.Errorf("single PhaseSpread = %v", got)
+	}
+}
+
+func TestCircularMeanAndVariance(t *testing.T) {
+	// Phases tightly clustered around π have mean near π even though the
+	// arithmetic mean of wrapped representatives could be 0.
+	theta := []float64{math.Pi - 0.1, math.Pi + 0.1, -math.Pi + 0.05}
+	m := CircularMean(theta)
+	if d := math.Abs(mathx.WrapPi(m - math.Pi)); d > 0.1 {
+		t.Errorf("CircularMean = %v, want near π", m)
+	}
+	if v := CircularVariance(theta); v < 0 || v > 0.1 {
+		t.Errorf("CircularVariance = %v, want small", v)
+	}
+}
+
+func TestAdjacentDiffs(t *testing.T) {
+	d := AdjacentDiffs(nil, []float64{0, 2, 3})
+	if len(d) != 2 || d[0] != 2 || d[1] != 1 {
+		t.Errorf("AdjacentDiffs = %v", d)
+	}
+}
+
+func TestLocalOrderParameter(t *testing.T) {
+	// Traveling wave: adjacent phases differ by a small constant, so local
+	// order stays high while global order is low.
+	n := 32
+	theta := make([]float64, n)
+	for i := range theta {
+		theta[i] = mathx.TwoPi * float64(i) / float64(n)
+	}
+	neighbors := make([][]int, n)
+	for i := range neighbors {
+		neighbors[i] = []int{(i - 1 + n) % n, (i + 1) % n}
+	}
+	local := LocalOrderParameter(theta, neighbors)
+	global, _ := OrderParameter(theta)
+	for i, l := range local {
+		if l < 0.95 {
+			t.Errorf("local order at %d = %v, want near 1", i, l)
+		}
+	}
+	if global > 0.05 {
+		t.Errorf("global order = %v, want near 0", global)
+	}
+}
+
+func TestLocalOrderParameterIgnoresBadIndices(t *testing.T) {
+	theta := []float64{0, 0}
+	neighbors := [][]int{{1, 99, -1}, {0}}
+	local := LocalOrderParameter(theta, neighbors)
+	if math.Abs(local[0]-1) > 1e-12 {
+		t.Errorf("local[0] = %v", local[0])
+	}
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInvNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.8413447460685429, 1},   // Φ(1)
+		{0.15865525393145705, -1}, // Φ(-1)
+		{0.9772498680518208, 2},   // Φ(2)
+		{0.9986501019683699, 3},   // Φ(3)
+	}
+	for _, c := range cases {
+		if got := InvNormalCDF(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("InvNormalCDF(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestInvNormalCDFRoundTrip(t *testing.T) {
+	// Φ(Φ⁻¹(p)) == p across the domain, including the tail branches.
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		p := math.Abs(math.Mod(raw, 1))
+		if p < 1e-10 || p > 1-1e-10 {
+			return true
+		}
+		z := InvNormalCDF(p)
+		back := 0.5 * math.Erfc(-z/math.Sqrt2)
+		return math.Abs(back-p) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvNormalCDFEdges(t *testing.T) {
+	if !math.IsInf(InvNormalCDF(0), -1) {
+		t.Error("p=0 must give -Inf")
+	}
+	if !math.IsInf(InvNormalCDF(1), 1) {
+		t.Error("p=1 must give +Inf")
+	}
+	if !math.IsNaN(InvNormalCDF(-0.5)) || !math.IsNaN(InvNormalCDF(1.5)) {
+		t.Error("out-of-range p must give NaN")
+	}
+	if !math.IsNaN(InvNormalCDF(math.NaN())) {
+		t.Error("NaN must propagate")
+	}
+}
+
+func TestInvNormalCDFSymmetry(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.3, 0.45} {
+		if d := InvNormalCDF(p) + InvNormalCDF(1-p); math.Abs(d) > 1e-9 {
+			t.Errorf("symmetry violated at p=%v: %v", p, d)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 || s.Mean != 5 {
+		t.Errorf("N=%d Mean=%v", s.N, s.Mean)
+	}
+	// Sample std of this classic dataset is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("Std = %v, want %v", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min=%v Max=%v", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("Median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("want error for empty input")
+	}
+	s, err := Summarize([]float64{3})
+	if err != nil || s.Std != 0 || s.Mean != 3 {
+		t.Errorf("single sample: %+v err=%v", s, err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			// Bound magnitudes so interpolation between order statistics
+			// cannot overflow — physical quantities here are O(1..1e6).
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e300 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sort.Float64s(xs)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{-1, 0, 0.1, 0.5, 0.99, 1.0, 2.5}
+	h, err := NewHistogram(xs, 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("Under=%d Over=%d", h.Under, h.Over)
+	}
+	if h.Total() != 4 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Counts[0] != 2 { // 0 and 0.1
+		t.Errorf("bin 0 = %d", h.Counts[0])
+	}
+	if h.Counts[3] != 1 { // 0.99
+		t.Errorf("bin 3 = %d", h.Counts[3])
+	}
+}
+
+func TestHistogramModeAndErrors(t *testing.T) {
+	if _, err := NewHistogram(nil, 1, 0, 4); err == nil {
+		t.Error("want error for hi <= lo")
+	}
+	if _, err := NewHistogram(nil, 0, 1, 0); err == nil {
+		t.Error("want error for nbins <= 0")
+	}
+	h, _ := NewHistogram([]float64{0.55, 0.6, 0.1}, 0, 1, 2)
+	if m := h.Mode(); math.Abs(m-0.75) > 1e-12 {
+		t.Errorf("Mode = %v, want 0.75", m)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+	if fit.StdErrSlope > 1e-9 {
+		t.Errorf("StdErrSlope = %v, want ~0", fit.StdErrSlope)
+	}
+}
+
+func TestFitLineNoisy(t *testing.T) {
+	r := NewRNG(41)
+	n := 500
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i) / 10
+		ys[i] = -3*xs[i] + 7 + r.NormalMS(0, 0.5)
+	}
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope+3) > 0.05 {
+		t.Errorf("Slope = %v, want ≈ -3", fit.Slope)
+	}
+	if math.Abs(fit.Intercept-7) > 0.5 {
+		t.Errorf("Intercept = %v, want ≈ 7", fit.Intercept)
+	}
+	if fit.R2 < 0.95 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{2}); err == nil {
+		t.Error("want error for single point")
+	}
+	if _, err := FitLine([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("want error for vertical line")
+	}
+}
+
+func TestAutoCorrelation(t *testing.T) {
+	// Period-4 signal has autocorrelation 1 at lag 4.
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(i) / 4)
+	}
+	ac, err := AutoCorrelation(xs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ac[0]-1) > 1e-12 {
+		t.Errorf("lag-0 autocorrelation = %v", ac[0])
+	}
+	if ac[4] < 0.85 {
+		t.Errorf("lag-4 autocorrelation = %v, want near 1", ac[4])
+	}
+	if ac[2] > -0.85 {
+		t.Errorf("lag-2 autocorrelation = %v, want near -1", ac[2])
+	}
+}
+
+func TestAutoCorrelationEdges(t *testing.T) {
+	if _, err := AutoCorrelation(nil, 3); err == nil {
+		t.Error("want error on empty input")
+	}
+	ac, err := AutoCorrelation([]float64{5, 5, 5}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac[0] != 1 {
+		t.Error("constant signal lag-0 must be 1 by convention")
+	}
+}

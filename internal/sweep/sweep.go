@@ -1,0 +1,130 @@
+// Package sweep runs embarrassingly parallel parameter studies of the
+// oscillator model and the cluster simulator across a worker pool — the
+// batch-mode counterpart of the paper's interactive MATLAB exploration.
+// Results are returned in input order regardless of completion order, and
+// a failure in any point cancels the remaining work.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Point is one parameter point of a sweep: an opaque input produced by
+// the caller's grid.
+type Point[P, R any] struct {
+	// Index is the position in the input grid.
+	Index int
+	// Param is the input parameter value.
+	Param P
+	// Result is the worker's output (zero when Err != nil).
+	Result R
+	// Err is the per-point failure, if any.
+	Err error
+}
+
+// Run evaluates fn over params using at most workers goroutines (0 means
+// GOMAXPROCS). The returned slice is ordered like params. The first
+// error cancels outstanding work and is returned alongside the partial
+// results; points that never ran carry ctx.Err().
+func Run[P, R any](ctx context.Context, params []P, workers int, fn func(ctx context.Context, p P) (R, error)) ([]Point[P, R], error) {
+	if fn == nil {
+		return nil, errors.New("sweep: nil worker function")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(params) {
+		workers = len(params)
+	}
+	out := make([]Point[P, R], len(params))
+	for i, p := range params {
+		out[i] = Point[P, R]{Index: i, Param: p}
+	}
+	if len(params) == 0 {
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					out[i].Err = ctx.Err()
+					continue
+				}
+				r, err := fn(ctx, out[i].Param)
+				out[i].Result = r
+				out[i].Err = err
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("sweep: point %d: %w", i, err)
+						cancel()
+					})
+				}
+			}
+		}()
+	}
+	for i := range params {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out, firstErr
+}
+
+// Results extracts the result values of a fully successful sweep; it
+// returns the first per-point error otherwise.
+func Results[P, R any](points []Point[P, R]) ([]R, error) {
+	out := make([]R, len(points))
+	for i, p := range points {
+		if p.Err != nil {
+			return nil, p.Err
+		}
+		out[i] = p.Result
+	}
+	return out, nil
+}
+
+// Grid1 builds a float64 grid from lo to hi with n points (inclusive).
+func Grid1(lo, hi float64, n int) []float64 {
+	if n < 1 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// Pair is a 2-D grid point.
+type Pair struct{ A, B float64 }
+
+// Grid2 builds the cross product of two 1-D grids in row-major order.
+func Grid2(as, bs []float64) []Pair {
+	out := make([]Pair, 0, len(as)*len(bs))
+	for _, a := range as {
+		for _, b := range bs {
+			out = append(out, Pair{A: a, B: b})
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/noise"
+	"repro/internal/potential"
+	"repro/internal/topology"
+)
+
+func TestRunOrderedResults(t *testing.T) {
+	params := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	pts, err := Run(context.Background(), params, 4,
+		func(_ context.Context, p float64) (float64, error) { return p * p, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range pts {
+		if pt.Index != i || pt.Param != params[i] {
+			t.Fatalf("point %d out of order: %+v", i, pt)
+		}
+		if pt.Result != params[i]*params[i] {
+			t.Errorf("result[%d] = %v", i, pt.Result)
+		}
+	}
+	vals, err := Results(pts)
+	if err != nil || len(vals) != 8 {
+		t.Fatalf("Results: %v %v", vals, err)
+	}
+}
+
+func TestRunEmptyAndNil(t *testing.T) {
+	pts, err := Run(context.Background(), []int{}, 2,
+		func(_ context.Context, p int) (int, error) { return p, nil })
+	if err != nil || len(pts) != 0 {
+		t.Errorf("empty sweep: %v %v", pts, err)
+	}
+	if _, err := Run[int, int](context.Background(), []int{1}, 1, nil); err == nil {
+		t.Error("want error for nil fn")
+	}
+}
+
+func TestRunErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	params := make([]int, 64)
+	for i := range params {
+		params[i] = i
+	}
+	pts, err := Run(context.Background(), params, 2,
+		func(ctx context.Context, p int) (int, error) {
+			ran.Add(1)
+			if p == 3 {
+				return 0, boom
+			}
+			// Give cancellation a chance to take effect.
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(time.Millisecond):
+			}
+			return p, nil
+		})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if pts[3].Err == nil {
+		t.Error("failing point must carry its error")
+	}
+	if _, err := Results(pts); err == nil {
+		t.Error("Results must fail on a failed sweep")
+	}
+	if ran.Load() == 64 {
+		t.Log("note: all points ran before cancellation (scheduling-dependent)")
+	}
+}
+
+func TestRunRespectsCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pts, _ := Run(ctx, []int{1, 2, 3}, 2,
+		func(ctx context.Context, p int) (int, error) {
+			return 0, ctx.Err()
+		})
+	for _, pt := range pts {
+		if pt.Err == nil {
+			t.Error("points under a canceled context must fail")
+		}
+	}
+}
+
+func TestGrid1(t *testing.T) {
+	g := Grid1(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-15 {
+			t.Errorf("g[%d] = %v", i, g[i])
+		}
+	}
+	if len(Grid1(0, 1, 0)) != 0 {
+		t.Error("n=0 grid must be empty")
+	}
+	if g := Grid1(3, 9, 1); len(g) != 1 || g[0] != 3 {
+		t.Error("single-point grid")
+	}
+}
+
+func TestGrid2(t *testing.T) {
+	g := Grid2([]float64{1, 2}, []float64{10, 20, 30})
+	if len(g) != 6 {
+		t.Fatalf("len = %d", len(g))
+	}
+	if g[0] != (Pair{1, 10}) || g[5] != (Pair{2, 30}) {
+		t.Errorf("grid order wrong: %v", g)
+	}
+}
+
+// TestParallelSigmaSweep runs a real model sweep in parallel and checks
+// the settled gaps still track 2σ/3 — the concurrency does not perturb
+// determinism because each point owns its model.
+func TestParallelSigmaSweep(t *testing.T) {
+	sigmas := []float64{0.8, 1.2, 1.6, 2.0}
+	pts, err := Run(context.Background(), sigmas, 4,
+		func(_ context.Context, sigma float64) (float64, error) {
+			tp, err := topology.NextNeighbor(10, false)
+			if err != nil {
+				return 0, err
+			}
+			cfg := core.Config{
+				N: 10, TComp: 0.8, TComm: 0.2,
+				Potential:   potential.NewDesync(sigma),
+				Topology:    tp,
+				Init:        core.RandomPhases,
+				PerturbSeed: 5,
+				PerturbAmp:  0.02,
+				LocalNoise:  noise.Delay{Rank: 3, Start: 10, Duration: 1, Extra: 50},
+			}
+			m, err := core.New(cfg)
+			if err != nil {
+				return 0, err
+			}
+			res, err := m.Run(300, 301)
+			if err != nil {
+				return 0, err
+			}
+			gaps := res.AsymptoticGaps(0.1)
+			var mean float64
+			for _, g := range gaps {
+				mean += math.Abs(g)
+			}
+			return mean / float64(len(gaps)), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range pts {
+		want := 2 * sigmas[i] / 3
+		if math.Abs(pt.Result-want) > 0.15*want {
+			t.Errorf("σ=%v: gap %v, want %v", sigmas[i], pt.Result, want)
+		}
+	}
+}

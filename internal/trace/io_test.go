@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := NewTrace(3)
+	orig.Record(0, SpanCompute, 0, 1.5)
+	orig.Record(0, SpanComm, 1.5, 2)
+	orig.Record(1, SpanCompute, 0, 2)
+	orig.Record(2, SpanComm, 0.25, 0.75)
+	orig.MarkIterEnd(0, 2)
+	orig.MarkIterEnd(0, 4)
+	orig.MarkIterEnd(1, 2)
+
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 3 {
+		t.Fatalf("N = %d", back.N())
+	}
+	for r := 0; r < 3; r++ {
+		if len(back.Spans[r]) != len(orig.Spans[r]) {
+			t.Fatalf("rank %d spans: %d vs %d", r, len(back.Spans[r]), len(orig.Spans[r]))
+		}
+		for i, s := range orig.Spans[r] {
+			b := back.Spans[r][i]
+			if b.Kind != s.Kind || math.Abs(b.Start-s.Start) > 1e-15 || math.Abs(b.End-s.End) > 1e-15 {
+				t.Errorf("rank %d span %d: %+v vs %+v", r, i, b, s)
+			}
+		}
+		if len(back.IterEnds[r]) != len(orig.IterEnds[r]) {
+			t.Errorf("rank %d iters: %d vs %d", r, len(back.IterEnds[r]), len(orig.IterEnds[r]))
+		}
+	}
+	if back.End != orig.End {
+		t.Errorf("End = %v vs %v", back.End, orig.End)
+	}
+}
+
+func TestCSVRoundTripPreservesAnalysis(t *testing.T) {
+	orig := buildWaveTrace(10)
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err1 := orig.MeasureIdleWave(2, 10, 0.5, 1, false)
+	w2, err2 := back.MeasureIdleWave(2, 10, 0.5, 1, false)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if math.Abs(w1.Speed-w2.Speed) > 1e-12 {
+		t.Errorf("wave speed changed through round trip: %v vs %v", w1.Speed, w2.Speed)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, data string
+	}{
+		{"empty", ""},
+		{"header only", "record,rank,a,b,c\n"},
+		{"bad rank", "record,rank,a,b,c\nspan,x,compute,0,1\n"},
+		{"bad kind", "record,rank,a,b,c\nspan,0,magic,0,1\n"},
+		{"bad span times", "record,rank,a,b,c\nspan,0,compute,zero,1\n"},
+		{"bad record", "record,rank,a,b,c\nblob,0,compute,0,1\n"},
+		{"bad iter", "record,rank,a,b,c\niter,0,x,1,\n"},
+		{"overlapping", "record,rank,a,b,c\nspan,0,compute,0,2\nspan,0,comm,1,3\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.data)); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}

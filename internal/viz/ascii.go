@@ -1,0 +1,109 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Sparkline renders values as a compact unicode bar strip for terminal
+// output.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(levels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+// Table renders rows as an aligned plain-text table with a header.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// PhaseStrip renders one row per time sample with a character per
+// oscillator indicating its lag bucket: '.' in sync, digits growing with
+// the lag. It is the terminal analogue of the phase-timeline view.
+func PhaseStrip(normPhases [][]float64, maxRows int) string {
+	if len(normPhases) == 0 {
+		return ""
+	}
+	stride := 1
+	if maxRows > 0 && len(normPhases) > maxRows {
+		stride = len(normPhases) / maxRows
+	}
+	var hi float64
+	for _, row := range normPhases {
+		for _, v := range row {
+			hi = math.Max(hi, v)
+		}
+	}
+	var b strings.Builder
+	for k := 0; k < len(normPhases); k += stride {
+		for _, v := range normPhases[k] {
+			switch {
+			case hi == 0 || v < 0.05*hi:
+				b.WriteByte('.')
+			default:
+				d := int(v / hi * 9)
+				if d > 9 {
+					d = 9
+				}
+				b.WriteByte(byte('0' + d))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

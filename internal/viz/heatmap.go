@@ -1,0 +1,97 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Heatmap renders a matrix as a colored cell grid — used for the
+// phase-timeline view (time × rank → lag) that corresponds to the paper's
+// trace insets.
+type Heatmap struct {
+	Title, XLabel, YLabel string
+	// Data[row][col] is the cell value; rows render top to bottom.
+	Data [][]float64
+	// W and H are the canvas size; zero selects 720×480.
+	W, H int
+	// Lo and Hi clamp the color scale; when both zero the data range is
+	// used.
+	Lo, Hi float64
+}
+
+// SVG renders the heatmap with a white→red scale (white low, deep red
+// high — matching the compute/communication coloring convention).
+func (hm *Heatmap) SVG() string {
+	w, h := hm.W, hm.H
+	if w == 0 {
+		w = 720
+	}
+	if h == 0 {
+		h = 480
+	}
+	rows := len(hm.Data)
+	cols := 0
+	for _, r := range hm.Data {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+
+	lo, hi := hm.Lo, hm.Hi
+	if lo == 0 && hi == 0 {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, r := range hm.Data {
+			for _, v := range r {
+				if math.IsNaN(v) {
+					continue
+				}
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+		if lo > hi {
+			lo, hi = 0, 1
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&b, `<text x="%d" y="25" font-size="16" text-anchor="middle" font-weight="bold">%s</text>`,
+		w/2, esc(hm.Title))
+	if rows == 0 || cols == 0 {
+		b.WriteString(`</svg>`)
+		return b.String()
+	}
+	cw := float64(w-2*margin) / float64(cols)
+	ch := float64(h-2*margin) / float64(rows)
+	for ri, row := range hm.Data {
+		for ci, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			u := (v - lo) / (hi - lo)
+			if u < 0 {
+				u = 0
+			}
+			if u > 1 {
+				u = 1
+			}
+			// White (low) → red (high).
+			g := int(255 * (1 - u))
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="#ff%02x%02x"/>`,
+				float64(margin)+float64(ci)*cw, float64(margin)+float64(ri)*ch,
+				cw+0.5, ch+0.5, g, g)
+		}
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="13" text-anchor="middle">%s</text>`,
+		w/2, h-15, esc(hm.XLabel))
+	fmt.Fprintf(&b, `<text x="15" y="%d" font-size="13" text-anchor="middle" transform="rotate(-90 15 %d)">%s</text>`,
+		h/2, h/2, esc(hm.YLabel))
+	b.WriteString(`</svg>`)
+	return b.String()
+}

@@ -1,0 +1,283 @@
+// Package viz renders the three visualization modes the paper's MATLAB
+// tool provides (§3.2) — the circle (phase) diagram, phase/potential
+// timelines — plus ITAC-style Gantt traces, as self-contained SVG files
+// and quick ASCII previews. Only the standard library is used.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// palette is a colorblind-friendly cycle for line series.
+var palette = []string{
+	"#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00",
+	"#56b4e9", "#f0e442", "#000000",
+}
+
+// Color returns the i-th palette color.
+func Color(i int) string { return palette[i%len(palette)] }
+
+// Series is one named line of a 2-D plot.
+type Series struct {
+	Name   string
+	Xs, Ys []float64
+}
+
+// LinePlot is a simple multi-series 2-D chart.
+type LinePlot struct {
+	Title, XLabel, YLabel string
+	Series                []Series
+	// W and H are the canvas size; zero selects 720×480.
+	W, H int
+}
+
+const margin = 60
+
+// SVG renders the plot.
+func (p *LinePlot) SVG() string {
+	w, h := p.W, p.H
+	if w == 0 {
+		w = 720
+	}
+	if h == 0 {
+		h = 480
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.Xs {
+			if math.IsNaN(s.Xs[i]) || math.IsNaN(s.Ys[i]) {
+				continue
+			}
+			xmin = math.Min(xmin, s.Xs[i])
+			xmax = math.Max(xmax, s.Xs[i])
+			ymin = math.Min(ymin, s.Ys[i])
+			ymax = math.Max(ymax, s.Ys[i])
+		}
+	}
+	if xmin > xmax { // no data
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	px := func(x float64) float64 {
+		return margin + (x-xmin)/(xmax-xmin)*float64(w-2*margin)
+	}
+	py := func(y float64) float64 {
+		return float64(h-margin) - (y-ymin)/(ymax-ymin)*float64(h-2*margin)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		margin, h-margin, w-margin, h-margin)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		margin, margin, margin, h-margin)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 5; i++ {
+		x := xmin + (xmax-xmin)*float64(i)/5
+		y := ymin + (ymax-ymin)*float64(i)/5
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`,
+			px(x), h-margin, px(x), h-margin+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`,
+			px(x), h-margin+18, fmtTick(x))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`,
+			margin-5, py(y), margin, py(y))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`,
+			margin-8, py(y)+4, fmtTick(y))
+	}
+	// Labels and title.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="14" text-anchor="middle">%s</text>`,
+		w/2, h-15, esc(p.XLabel))
+	fmt.Fprintf(&b, `<text x="15" y="%d" font-size="14" text-anchor="middle" transform="rotate(-90 15 %d)">%s</text>`,
+		h/2, h/2, esc(p.YLabel))
+	fmt.Fprintf(&b, `<text x="%d" y="25" font-size="16" text-anchor="middle" font-weight="bold">%s</text>`,
+		w/2, esc(p.Title))
+	// Series.
+	for si, s := range p.Series {
+		color := Color(si)
+		var path strings.Builder
+		pen := false
+		for i := range s.Xs {
+			if math.IsNaN(s.Xs[i]) || math.IsNaN(s.Ys[i]) {
+				pen = false
+				continue
+			}
+			cmd := "L"
+			if !pen {
+				cmd = "M"
+				pen = true
+			}
+			fmt.Fprintf(&path, "%s%.2f %.2f ", cmd, px(s.Xs[i]), py(s.Ys[i]))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.8"/>`,
+			path.String(), color)
+		// Legend.
+		ly := margin + 18*si
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`,
+			w-margin-120, ly, w-margin-95, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12">%s</text>`,
+			w-margin-90, ly+4, esc(s.Name))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e5 || (av < 1e-2 && av > 0):
+		return fmt.Sprintf("%.1e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// CircleDiagram renders the paper's circle view: oscillator phases as dots
+// on the unit circle, colored by instantaneous frequency (blue fast,
+// yellow slow), as described in §3.2.
+type CircleDiagram struct {
+	Title string
+	// Phases are the oscillator phases (radians; only the 2π remainder
+	// determines the position).
+	Phases []float64
+	// Freqs, when non-nil, colors each dot by relative frequency.
+	Freqs []float64
+	// W is the square canvas size; zero selects 420.
+	W int
+}
+
+// SVG renders the diagram.
+func (c *CircleDiagram) SVG() string {
+	w := c.W
+	if w == 0 {
+		w = 420
+	}
+	cx, cy := float64(w)/2, float64(w)/2
+	rad := float64(w)/2 - 40
+
+	var fmin, fmax float64
+	if len(c.Freqs) == len(c.Phases) && len(c.Freqs) > 0 {
+		fmin, fmax = c.Freqs[0], c.Freqs[0]
+		for _, f := range c.Freqs {
+			fmin = math.Min(fmin, f)
+			fmax = math.Max(fmax, f)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, w, w, w)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="#888"/>`, cx, cy, rad)
+	fmt.Fprintf(&b, `<text x="%.1f" y="22" font-size="14" text-anchor="middle" font-weight="bold">%s</text>`,
+		cx, esc(c.Title))
+	for i, th := range c.Phases {
+		x := cx + rad*math.Cos(th)
+		y := cy - rad*math.Sin(th)
+		color := Color(0)
+		if len(c.Freqs) == len(c.Phases) && fmax > fmin {
+			// Blue (fast) → yellow (slow), matching the paper's coloring.
+			u := (c.Freqs[i] - fmin) / (fmax - fmin)
+			r := int(240 * (1 - u))
+			g := int(228*(1-u) + 114*u)
+			bl := int(66*(1-u) + 178*u)
+			color = fmt.Sprintf("#%02x%02x%02x", r, g, bl)
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="6" fill="%s" stroke="black" stroke-width="0.5"/>`,
+			x, y, color)
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// GanttSpan is one bar of a Gantt trace.
+type GanttSpan struct {
+	Row        int
+	Start, End float64
+	// Comm selects the red (communication) coloring; compute is white.
+	Comm bool
+}
+
+// Gantt renders an ITAC-style per-rank timeline: white compute, red
+// communication — the visual language of the paper's Fig. 2 insets.
+type Gantt struct {
+	Title   string
+	Rows    int
+	Spans   []GanttSpan
+	T0, T1  float64
+	W, RowH int
+}
+
+// SVG renders the trace.
+func (g *Gantt) SVG() string {
+	w := g.W
+	if w == 0 {
+		w = 900
+	}
+	rh := g.RowH
+	if rh == 0 {
+		rh = 14
+	}
+	h := 2*margin + g.Rows*rh
+	t0, t1 := g.T0, g.T1
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+	px := func(t float64) float64 {
+		return margin + (t-t0)/(t1-t0)*float64(w-2*margin)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&b, `<text x="%d" y="25" font-size="16" text-anchor="middle" font-weight="bold">%s</text>`,
+		w/2, esc(g.Title))
+	spans := append([]GanttSpan(nil), g.Spans...)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Row < spans[j].Row })
+	for _, s := range spans {
+		if s.End < t0 || s.Start > t1 || s.Row < 0 || s.Row >= g.Rows {
+			continue
+		}
+		x0 := px(math.Max(s.Start, t0))
+		x1 := px(math.Min(s.End, t1))
+		y := margin + s.Row*rh
+		fill := "#ffffff"
+		stroke := "#bbbbbb"
+		if s.Comm {
+			fill = "#cc2222"
+			stroke = "#cc2222"
+		}
+		fmt.Fprintf(&b, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s" stroke="%s" stroke-width="0.4"/>`,
+			x0, y, math.Max(x1-x0, 0.3), rh-2, fill, stroke)
+	}
+	for r := 0; r < g.Rows; r += max(1, g.Rows/10) {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="end">%d</text>`,
+			margin-6, margin+r*rh+rh-4, r)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="13" text-anchor="middle">time [s]</text>`,
+		w/2, h-15)
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,191 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLinePlotSVGWellFormed(t *testing.T) {
+	p := &LinePlot{
+		Title:  "Potential & <shapes>",
+		XLabel: "x", YLabel: "V(x)",
+		Series: []Series{
+			{Name: "tanh", Xs: []float64{-1, 0, 1}, Ys: []float64{-0.76, 0, 0.76}},
+			{Name: "desync", Xs: []float64{-1, 0, 1}, Ys: []float64{0.9, 0, -0.9}},
+		},
+	}
+	svg := p.SVG()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if strings.Count(svg, "<path") != 2 {
+		t.Errorf("want 2 series paths, got %d", strings.Count(svg, "<path"))
+	}
+	if !strings.Contains(svg, "&lt;shapes&gt;") {
+		t.Error("title not escaped")
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN leaked into SVG")
+	}
+}
+
+func TestLinePlotHandlesNaNGaps(t *testing.T) {
+	p := &LinePlot{Series: []Series{{
+		Name: "gappy",
+		Xs:   []float64{0, 1, 2, 3},
+		Ys:   []float64{1, math.NaN(), 2, 3},
+	}}}
+	svg := p.SVG()
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN leaked")
+	}
+	// The NaN break must start a new subpath: two M commands.
+	path := svg[strings.Index(svg, `<path d="`)+9:]
+	path = path[:strings.Index(path, `"`)]
+	if strings.Count(path, "M") != 2 {
+		t.Errorf("want 2 subpaths, path = %q", path)
+	}
+}
+
+func TestLinePlotEmpty(t *testing.T) {
+	p := &LinePlot{}
+	if svg := p.SVG(); !strings.HasPrefix(svg, "<svg") {
+		t.Error("empty plot must still render a document")
+	}
+}
+
+func TestCircleDiagram(t *testing.T) {
+	c := &CircleDiagram{
+		Title:  "phases",
+		Phases: []float64{0, math.Pi / 2, math.Pi},
+		Freqs:  []float64{1, 2, 3},
+	}
+	svg := c.SVG()
+	// One boundary circle + three dots.
+	if got := strings.Count(svg, "<circle"); got != 4 {
+		t.Errorf("circles = %d, want 4", got)
+	}
+	// Without frequencies dots still render.
+	c2 := &CircleDiagram{Phases: []float64{0, 1}}
+	if got := strings.Count(c2.SVG(), "<circle"); got != 3 {
+		t.Errorf("circles = %d, want 3", got)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	g := &Gantt{
+		Title: "trace",
+		Rows:  2,
+		T0:    0, T1: 10,
+		Spans: []GanttSpan{
+			{Row: 0, Start: 0, End: 5},
+			{Row: 0, Start: 5, End: 6, Comm: true},
+			{Row: 1, Start: 0, End: 10},
+			{Row: 5, Start: 0, End: 1},   // out of range: dropped
+			{Row: 0, Start: 11, End: 12}, // out of window: dropped
+		},
+	}
+	svg := g.SVG()
+	// Background rect + 3 visible spans.
+	if got := strings.Count(svg, "<rect"); got != 4 {
+		t.Errorf("rects = %d, want 4", got)
+	}
+	if !strings.Contains(svg, "#cc2222") {
+		t.Error("comm span color missing")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Errorf("length = %d", len([]rune(s)))
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty input must give empty string")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if len([]rune(flat)) != 3 {
+		t.Error("flat input must still render")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"k", "speed"}, [][]string{{"1", "0.5"}, {"44", "12.25"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "k ") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "12.25") {
+		t.Errorf("row = %q", lines[3])
+	}
+}
+
+func TestPhaseStrip(t *testing.T) {
+	rows := [][]float64{
+		{0, 0, 0},
+		{0, 1, 0},
+		{0, 2, 1},
+	}
+	out := PhaseStrip(rows, 0)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "..." {
+		t.Errorf("sync row = %q", lines[0])
+	}
+	if lines[2][1] != '9' {
+		t.Errorf("max lag char = %q", lines[2])
+	}
+	if PhaseStrip(nil, 0) != "" {
+		t.Error("empty strip")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	hm := &Heatmap{
+		Title: "lag",
+		Data: [][]float64{
+			{0, 0.5, 1},
+			{1, math.NaN(), 0},
+		},
+	}
+	svg := hm.SVG()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatal("not an SVG")
+	}
+	// Background + 5 cells (NaN skipped).
+	if got := strings.Count(svg, "<rect"); got != 6 {
+		t.Errorf("rects = %d, want 6", got)
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN leaked")
+	}
+	// Max value renders pure red, min renders white.
+	if !strings.Contains(svg, "#ff0000") {
+		t.Error("max cell must be red")
+	}
+	if !strings.Contains(svg, "#ffffff") {
+		t.Error("min cell must be white")
+	}
+}
+
+func TestHeatmapEmptyAndClamped(t *testing.T) {
+	empty := &Heatmap{}
+	if svg := empty.SVG(); !strings.HasPrefix(svg, "<svg") {
+		t.Error("empty heatmap must render")
+	}
+	clamped := &Heatmap{Data: [][]float64{{-5, 10}}, Lo: 0, Hi: 1}
+	svg := clamped.SVG()
+	if !strings.Contains(svg, "#ffffff") || !strings.Contains(svg, "#ff0000") {
+		t.Error("clamping must map out-of-range values to scale ends")
+	}
+	flat := &Heatmap{Data: [][]float64{{3, 3}}}
+	if svg := flat.SVG(); !strings.HasPrefix(svg, "<svg") {
+		t.Error("flat data must render")
+	}
+}

@@ -1,0 +1,124 @@
+package pom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScalableScenarioResyncs(t *testing.T) {
+	cfg := Scalable(16)
+	cfg.LocalNoise = OneOffDelay(5, 5, 2, 1)
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(80, 401)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.ResyncTime(0.1); err != nil {
+		t.Errorf("scalable scenario did not resync: %v", err)
+	}
+	wf, err := res.MeasureWave(5, 5, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.Speed <= 0 {
+		t.Error("no idle wave")
+	}
+}
+
+func TestBottleneckedScenarioDesyncs(t *testing.T) {
+	sigma := 1.5
+	cfg := Bottlenecked(12, sigma)
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(300, 601)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := res.AsymptoticGaps(0.1)
+	want := 2 * sigma / 3
+	for i, g := range gaps {
+		if math.Abs(math.Abs(g)-want) > 0.15 {
+			t.Errorf("gap %d = %v, want ±%v", i, g, want)
+		}
+	}
+}
+
+func TestPotentialConstructors(t *testing.T) {
+	if TanhPotential().Eval(0) != 0 {
+		t.Error("tanh V(0)")
+	}
+	if DesyncPotential(3).Eval(5) != 1 {
+		t.Error("desync saturation")
+	}
+	if math.Abs(KuramotoPotential().Eval(math.Pi/2)-1) > 1e-12 {
+		t.Error("kuramoto sine")
+	}
+}
+
+func TestTopologyConstructors(t *testing.T) {
+	tp, err := NextNeighbor(8, true)
+	if err != nil || tp.Degree(0) != 2 {
+		t.Errorf("NextNeighbor: %v", err)
+	}
+	tp, err = Stencil(8, []int{-2, 1}, true)
+	if err != nil || tp.Degree(0) != 2 {
+		t.Errorf("Stencil: %v", err)
+	}
+	tp, err = AllToAll(5)
+	if err != nil || tp.Degree(0) != 4 {
+		t.Errorf("AllToAll: %v", err)
+	}
+}
+
+func TestSimulateMPI(t *testing.T) {
+	tp, err := NextNeighbor(20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateMPI(Meggie(2), tp, Pisolver(), 100, 5, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	iterDur := tr.MeanIterationTime(0)
+	tDelay := tr.IterEnds[5][19]
+	wm, err := tr.MeasureIdleWave(5, tDelay, 0.5*iterDur, iterDur, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm.SpeedRanksPerIter < 0.8 || wm.SpeedRanksPerIter > 1.3 {
+		t.Errorf("wave speed = %v ranks/iter", wm.SpeedRanksPerIter)
+	}
+	// Undisturbed run path.
+	res2, err := SimulateMPI(Meggie(2), tp, Pisolver(), 20, -1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Makespan <= 0 {
+		t.Error("empty makespan")
+	}
+}
+
+func TestGaussianJitterFacade(t *testing.T) {
+	n := GaussianJitter(0.1, 1, 3)
+	if n.Zeta(0, 0.5) == 0 && n.Zeta(1, 7.5) == 0 {
+		t.Error("jitter silent")
+	}
+}
+
+func TestMachinePresetsFacade(t *testing.T) {
+	if Meggie(4).Cores() != 40 {
+		t.Error("Meggie cores")
+	}
+	if SuperMUCNG(2).Cores() != 48 {
+		t.Error("SuperMUC-NG cores")
+	}
+	if STREAM().Name != "STREAM" || Schoenauer().Name == "" || Pisolver().Name == "" {
+		t.Error("kernel names")
+	}
+}
