@@ -7,6 +7,8 @@
 package repro_test
 
 import (
+	"fmt"
+	"math"
 	"testing"
 
 	"repro/internal/cluster"
@@ -202,6 +204,185 @@ func BenchmarkFig1bSuperMUCNG(b *testing.B) {
 		streamSat = float64(res.Curves[0].SaturationProcs)
 	}
 	b.ReportMetric(streamSat, "stream-sat-cores")
+}
+
+// --- Hot-path micro-benchmarks ------------------------------------------
+
+// baselineRHS is a faithful transcription of the pre-change
+// core.Model.rhs: [][]int neighbor lists, one interface dispatch per
+// (i, j) pair, per-pair delay checks, and a per-oscillator noise call
+// plus division. It is the reference the flat-CSR/batched speedup is
+// measured against.
+type baselineRHS struct {
+	neighbors [][]int
+	pot       potential.Potential
+	local     noise.Local
+	inoise    noise.Interaction
+	period    float64
+	vp, gain  float64
+	n         int
+}
+
+func (m *baselineRHS) zeta(i int, t float64) float64 {
+	if m.local == nil {
+		return 0
+	}
+	z := m.local.Zeta(i, t)
+	if z < -0.9*m.period {
+		z = -0.9 * m.period
+	}
+	return z
+}
+
+func (m *baselineRHS) rhs(t float64, y []float64, past ode.Past, dydt []float64) {
+	k := m.vp * m.gain / float64(m.n)
+	inoise := m.inoise
+	for i := range y {
+		freq := 2 * math.Pi / (m.period + m.zeta(i, t))
+		var coupling float64
+		for _, j := range m.neighbors[i] {
+			thj := y[j]
+			if past != nil && inoise != nil {
+				if tau := inoise.Tau(i, j, t); tau > 0 {
+					thj = past.Eval(j, t-tau)
+				}
+			}
+			coupling += m.pot.Eval(thj - y[i])
+		}
+		dydt[i] = freq + k*coupling
+	}
+}
+
+// benchRHSModel builds the N-oscillator sine-potential ring shared by the
+// BenchmarkRHS* variants.
+func benchRHSModel(b *testing.B, n, workers int) (*core.Model, []float64, []float64) {
+	b.Helper()
+	tp, err := topology.NextNeighbor(n, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.New(core.Config{
+		N: n, TComp: 0.8, TComm: 0.2,
+		Potential: potential.KuramotoSine{},
+		Topology:  tp,
+		Workers:   workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = 0.01 * float64(i)
+	}
+	return m, y, make([]float64, n)
+}
+
+// BenchmarkRHSBaseline1024 measures the pre-change interface-dispatch
+// right-hand side on the N=1024 sine-potential ring — the reference the
+// acceptance criterion's ≥2x speedup is counted from.
+func BenchmarkRHSBaseline1024(b *testing.B) {
+	m, y, dydt := benchRHSModel(b, 1024, 1)
+	tp, err := topology.NextNeighbor(1024, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := &baselineRHS{
+		neighbors: tp.Neighbors(),
+		pot:       potential.KuramotoSine{},
+		period:    1.0,
+		vp:        m.Vp(),
+		gain:      float64(m.N()),
+		n:         m.N(),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base.rhs(0, y, nil, dydt)
+	}
+}
+
+// BenchmarkRHSFlat1024 measures the flat-CSR, batch-potential right-hand
+// side on the same system (serial).
+func BenchmarkRHSFlat1024(b *testing.B) {
+	m, y, dydt := benchRHSModel(b, 1024, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EvalRHS(0, y, dydt)
+	}
+}
+
+// BenchmarkRHSFlatWorkers1024 measures the same right-hand side with the
+// persistent 4-worker pool (Config.Workers), which must stay bit-for-bit
+// identical to the serial result.
+func BenchmarkRHSFlatWorkers1024(b *testing.B) {
+	m, y, dydt := benchRHSModel(b, 1024, 4)
+	defer m.Close()
+	m.EvalRHS(0, y, dydt) // start the pool outside the timed region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EvalRHS(0, y, dydt)
+	}
+}
+
+// BenchmarkRHSFlat8192Workers scales the parallel path up to N=8192,
+// where the per-call fan-out cost is fully amortized.
+func BenchmarkRHSFlat8192Workers(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			m, y, dydt := benchRHSModel(b, 8192, workers)
+			defer m.Close()
+			m.EvalRHS(0, y, dydt)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.EvalRHS(0, y, dydt)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineEager measures the pooled event engine on the 40-rank
+// eager-protocol STREAM exchange: value-typed heap, dense channel array,
+// recycled requests and compute tasks.
+func BenchmarkEngineEager(b *testing.B) {
+	benchEngine(b, 1024)
+}
+
+// BenchmarkEngineRendezvous is BenchmarkEngineEager above the eager
+// threshold, exercising the handshake path and its request recycling.
+func BenchmarkEngineRendezvous(b *testing.B) {
+	benchEngine(b, 1<<20)
+}
+
+func benchEngine(b *testing.B, msgBytes float64) {
+	tp, err := topology.NextNeighbor(40, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := kernels.STREAM()
+	progs, err := cluster.BulkSynchronous(tp, k.Workload(), msgBytes, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int
+	for i := 0; i < b.N; i++ {
+		sim, err := cluster.NewSim(cluster.Meggie(4), progs, cluster.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/s")
+	}
 }
 
 // --- Ablations ----------------------------------------------------------

@@ -1,40 +1,96 @@
 package cluster
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/trace"
 )
 
-// event is one scheduled simulation action.
+// evKind discriminates the scheduled simulation actions. Events carry
+// their payload inline instead of a closure, so scheduling never
+// allocates: the heap is a flat []event and the dispatch in Run is a
+// switch.
+type evKind uint8
+
+const (
+	// evResume unblocks rank and continues its interpreter.
+	evResume evKind = iota
+	// evDeliverEager delivers an eager payload on channel ch.
+	evDeliverEager
+	// evRendezvousDone completes req's transfer and resumes the blocked
+	// sender rank.
+	evRendezvousDone
+	// evFinishCompute finishes task if its version still matches ver
+	// (stale finish events superseded by a rebalance are skipped).
+	evFinishCompute
+)
+
+// event is one scheduled simulation action, stored by value in the heap.
 type event struct {
-	t   float64
-	seq int64
-	fn  func()
+	t    float64
+	seq  int64
+	kind evKind
+	rank *rankState
+	req  *request
+	task *computeTask
+	ver  int64
+	ch   int32
 }
 
-// eventHeap orders events by (time, insertion sequence) for determinism.
-type eventHeap []*event
+// eventHeap is a binary min-heap of events ordered by (time, insertion
+// sequence) for determinism. It is value-typed: push and pop move event
+// structs within one backing array, with no per-event boxing and no
+// interface{} round-trips.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0] = q[n]
+	q[n] = event{} // clear pointers for the GC
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.less(l, small) {
+			small = l
+		}
+		if r < n && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	return top
 }
 
 // DelayInjection adds extra scalar work to one rank in one iteration —
@@ -81,23 +137,26 @@ func (r *Result) AggregateBandwidth(s int) float64 {
 	return r.SocketBytes[s] / r.Makespan
 }
 
-// request is a posted non-blocking receive.
+// request is a posted non-blocking receive. Requests are recycled through
+// the simulator's free list once retired by a Wait/Waitall.
 type request struct {
 	owner *rankState
 	done  bool
 }
 
-// chanKey identifies the ordered (from, to) message channel.
-type chanKey struct{ from, to int }
-
-// channel carries messages between one ordered rank pair, FIFO.
+// channel carries messages between one ordered rank pair, FIFO. The
+// ordered pairs are static (every Send/Irecv target is literal in the
+// program bodies), so NewSim packs the used pairs into a CSR-style edge
+// array — O(edges) memory instead of a map or an O(n²) dense matrix —
+// and lookup is a binary search over a rank's few partners. The queue
+// slices keep their capacity across iterations (pops shift in place).
 type channel struct {
 	// arrived holds eager payload arrival times not yet matched.
 	arrived []float64
 	// recvs holds posted, unmatched receive requests.
 	recvs []*request
 	// sends holds blocked rendezvous senders (with message size).
-	sends []*rendezvousSend
+	sends []rendezvousSend
 }
 
 // rendezvousSend is a sender blocked in the handshake.
@@ -106,7 +165,9 @@ type rendezvousSend struct {
 	bytes float64
 }
 
-// computeTask is a running compute phase on a socket.
+// computeTask is a running compute phase on a socket. Tasks are recycled
+// through the simulator's free list; version survives recycling so stale
+// finish events can never match a reused task.
 type computeTask struct {
 	r          *rankState
 	remaining  float64 // nominal seconds left
@@ -146,7 +207,9 @@ type Sim struct {
 	events         eventHeap
 	ranks          []*rankState
 	sockets        []*socketState
-	chans          map[chanKey]*channel
+	chanStart      []int32   // per-from-rank offsets into chanTo/chans
+	chanTo         []int32   // destination rank of each edge, sorted per from
+	chans          []channel // one per used ordered (from, to) pair
 	tr             *trace.Trace
 	barrier        []*rankState
 	allreduce      []*rankState
@@ -154,6 +217,12 @@ type Sim struct {
 	nEvents        int
 	delays         map[[2]int]float64
 	makespan       float64
+
+	// Free lists and scratch keeping the steady-state event loop
+	// allocation-free.
+	freeReqs  []*request
+	freeTasks []*computeTask
+	order     []*computeTask // rebalanceSocket sort scratch
 }
 
 // NewSim validates inputs and builds a simulator for the given per-rank
@@ -173,10 +242,10 @@ func NewSim(mc MachineConfig, progs []Program, opts Options) (*Sim, error) {
 	s := &Sim{
 		mc:     mc,
 		opts:   opts,
-		chans:  make(map[chanKey]*channel),
 		tr:     trace.NewTrace(n),
 		delays: make(map[[2]int]float64),
 	}
+	s.buildChannels(progs)
 	for _, d := range opts.Delays {
 		if d.Rank < 0 || d.Rank >= n {
 			return nil, fmt.Errorf("cluster: delay rank %d out of range", d.Rank)
@@ -189,18 +258,44 @@ func NewSim(mc MachineConfig, progs []Program, opts Options) (*Sim, error) {
 			return nil, fmt.Errorf("cluster: rank %d has an empty program", i)
 		}
 		s.ranks[i] = &rankState{id: i, prog: progs[i]}
+		// Pre-size the trace so recording in the event loop never grows a
+		// slice: at most one span per instruction per iteration (merging
+		// only reduces the count) and one mark per iteration.
+		s.tr.Reserve(i, progs[i].Iters*(len(progs[i].Body)+1)+1, progs[i].Iters)
 	}
 	s.sockets = make([]*socketState, mc.Sockets)
 	for i := range s.sockets {
 		s.sockets[i] = &socketState{}
 	}
+	s.barrier = make([]*rankState, 0, n)
+	s.allreduce = make([]*rankState, 0, n)
 	return s, nil
 }
 
-// schedule enqueues fn at time t.
-func (s *Sim) schedule(t float64, fn func()) {
+// scheduleResume enqueues an unblock of r at time t.
+func (s *Sim) scheduleResume(t float64, r *rankState) {
 	s.seq++
-	heap.Push(&s.events, &event{t: t, seq: s.seq, fn: fn})
+	s.events.push(event{t: t, seq: s.seq, kind: evResume, rank: r})
+}
+
+// scheduleEager enqueues an eager payload delivery on channel ci at t.
+func (s *Sim) scheduleEager(t float64, ci int32) {
+	s.seq++
+	s.events.push(event{t: t, seq: s.seq, kind: evDeliverEager, ch: ci})
+}
+
+// scheduleRendezvousDone enqueues the completion of req's transfer and
+// the resumption of the blocked sender at t.
+func (s *Sim) scheduleRendezvousDone(t float64, req *request, sender *rankState) {
+	s.seq++
+	s.events.push(event{t: t, seq: s.seq, kind: evRendezvousDone, req: req, rank: sender})
+}
+
+// scheduleFinish enqueues task's completion at t, tagged with its current
+// version so a later rebalance invalidates it.
+func (s *Sim) scheduleFinish(t float64, task *computeTask) {
+	s.seq++
+	s.events.push(event{t: t, seq: s.seq, kind: evFinishCompute, task: task, ver: task.version})
 }
 
 // Run executes the simulation to completion and returns the result.
@@ -213,7 +308,7 @@ func (s *Sim) Run() (*Result, error) {
 		s.step(r)
 	}
 	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(*event)
+		e := s.events.pop()
 		if e.t < s.now-1e-9 {
 			return nil, fmt.Errorf("cluster: time went backwards (%g after %g)", e.t, s.now)
 		}
@@ -224,7 +319,19 @@ func (s *Sim) Run() (*Result, error) {
 			return nil, fmt.Errorf("cluster: exceeded MaxTime %g", maxTime)
 		}
 		s.nEvents++
-		e.fn()
+		switch e.kind {
+		case evResume:
+			s.resume(e.rank)
+		case evDeliverEager:
+			s.deliverEager(&s.chans[e.ch])
+		case evRendezvousDone:
+			s.completeRequest(e.req)
+			s.resume(e.rank)
+		case evFinishCompute:
+			if e.task.version == e.ver {
+				s.finishCompute(e.task)
+			}
+		}
 	}
 	for _, r := range s.ranks {
 		if !r.done {
@@ -245,6 +352,47 @@ func (s *Sim) Run() (*Result, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// --- object pools ------------------------------------------------------
+
+// newRequest takes a request from the free list (or allocates one) and
+// initializes it for owner.
+func (s *Sim) newRequest(owner *rankState) *request {
+	if n := len(s.freeReqs); n > 0 {
+		q := s.freeReqs[n-1]
+		s.freeReqs = s.freeReqs[:n-1]
+		q.owner, q.done = owner, false
+		return q
+	}
+	return &request{owner: owner}
+}
+
+// freeRequest recycles a retired request. No event may reference it
+// afterwards (the rendezvous completion event fires before a request can
+// be retired by Wait/Waitall).
+func (s *Sim) freeRequest(q *request) {
+	q.owner = nil
+	s.freeReqs = append(s.freeReqs, q)
+}
+
+// newTask takes a compute task from the free list (or allocates one). The
+// version counter survives recycling, so finish events scheduled against
+// a previous incarnation can never match.
+func (s *Sim) newTask() *computeTask {
+	if n := len(s.freeTasks); n > 0 {
+		t := s.freeTasks[n-1]
+		s.freeTasks = s.freeTasks[:n-1]
+		return t
+	}
+	return &computeTask{}
+}
+
+// freeTask invalidates outstanding finish events and recycles the task.
+func (s *Sim) freeTask(t *computeTask) {
+	t.version++
+	t.r = nil
+	s.freeTasks = append(s.freeTasks, t)
 }
 
 // step runs rank r's interpreter from its current position until the rank
@@ -322,13 +470,12 @@ func (s *Sim) startCompute(r *rankState, in Compute) {
 	if dur <= 0 {
 		dur = 1e-12
 	}
-	task := &computeTask{
-		r:          r,
-		remaining:  dur,
-		demand:     in.Bytes / dur,
-		rate:       1,
-		lastUpdate: s.now,
-	}
+	task := s.newTask()
+	task.r = r
+	task.remaining = dur
+	task.demand = in.Bytes / dur
+	task.rate = 1
+	task.lastUpdate = s.now
 	s.block(r, trace.SpanCompute)
 	sock := s.sockets[s.mc.SocketOf(r.id)]
 	s.advanceSocket(sock)
@@ -357,10 +504,17 @@ func (s *Sim) rebalanceSocket(sock *socketState) {
 	if len(sock.tasks) == 0 {
 		return
 	}
-	// Max-min fair bandwidth allocation (water-filling).
-	order := make([]*computeTask, len(sock.tasks))
-	copy(order, sock.tasks)
-	sort.SliceStable(order, func(i, j int) bool { return order[i].demand < order[j].demand })
+	// Max-min fair bandwidth allocation (water-filling) over the tasks in
+	// ascending demand order. The scratch slice and the in-place stable
+	// insertion sort avoid sort.SliceStable's per-call closure and
+	// reflection swaps; sockets host at most a few dozen tasks.
+	order := append(s.order[:0], sock.tasks...)
+	s.order = order
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j].demand < order[j-1].demand; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
 	remB := s.mc.SocketBandwidth
 	remK := len(order)
 	for _, t := range order {
@@ -377,15 +531,7 @@ func (s *Sim) rebalanceSocket(sock *socketState) {
 	// Reschedule finish events with version-based cancellation.
 	for _, t := range order {
 		t.version++
-		v := t.version
-		task := t
-		finish := s.now + t.remaining/t.rate
-		s.schedule(finish, func() {
-			if task.version != v {
-				return // superseded by a later rebalance
-			}
-			s.finishCompute(task)
-		})
+		s.scheduleFinish(s.now+t.remaining/t.rate, t)
 	}
 }
 
@@ -400,19 +546,67 @@ func (s *Sim) finishCompute(task *computeTask) {
 		}
 	}
 	s.rebalanceSocket(sock)
-	s.resume(task.r)
+	r := task.r
+	s.freeTask(task)
+	s.resume(r)
 }
 
 // --- communication handling -------------------------------------------
 
-func (s *Sim) chanFor(from, to int) *channel {
-	key := chanKey{from, to}
-	c := s.chans[key]
-	if c == nil {
-		c = &channel{}
-		s.chans[key] = c
+// buildChannels packs the ordered (from, to) pairs the programs can use
+// into the CSR-style edge arrays. Targets are literal in the instruction
+// stream, so the set is complete; out-of-range targets are left to the
+// interpreter's panics.
+func (s *Sim) buildChannels(progs []Program) {
+	n := len(progs)
+	dests := make([][]int32, n)
+	add := func(from, to int) {
+		if from >= 0 && from < n && to >= 0 && to < n && from != to {
+			dests[from] = append(dests[from], int32(to))
+		}
 	}
-	return c
+	for r, pg := range progs {
+		for _, in := range pg.Body {
+			switch v := in.(type) {
+			case Send:
+				add(r, v.To)
+			case Irecv:
+				add(v.From, r)
+			}
+		}
+	}
+	s.chanStart = make([]int32, n+1)
+	for from, ds := range dests {
+		slices.Sort(ds)
+		ds = slices.Compact(ds)
+		dests[from] = ds
+		s.chanStart[from+1] = s.chanStart[from] + int32(len(ds))
+	}
+	edges := int(s.chanStart[n])
+	s.chanTo = make([]int32, 0, edges)
+	for _, ds := range dests {
+		s.chanTo = append(s.chanTo, ds...)
+	}
+	s.chans = make([]channel, edges)
+}
+
+// chanIdx returns the edge index of the ordered (from, to) channel via a
+// binary search over from's sorted partner list.
+func (s *Sim) chanIdx(from, to int) int32 {
+	lo, hi := s.chanStart[from], s.chanStart[from+1]
+	t := int32(to)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.chanTo[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < s.chanStart[from+1] && s.chanTo[lo] == t {
+		return lo
+	}
+	panic(fmt.Sprintf("cluster: no channel %d -> %d declared by the programs", from, to))
 }
 
 // transferTime returns latency + size/bandwidth for a message between the
@@ -437,6 +631,19 @@ func (s *Sim) interNodeTransferTime(bytes float64) float64 {
 	return s.mc.NetLatency + bytes/s.mc.NetBandwidth
 }
 
+// popFront removes and returns the oldest element of a FIFO queue,
+// shifting in place so the slice keeps its capacity across iterations
+// and zeroing the vacated slot so pooled pointers don't linger.
+func popFront[T any](q *[]T) T {
+	v := (*q)[0]
+	copy(*q, (*q)[1:])
+	last := len(*q) - 1
+	var zero T
+	(*q)[last] = zero
+	*q = (*q)[:last]
+	return v
+}
+
 // startSend executes a Send. It returns true when the instruction
 // completed synchronously (never: both protocols block at least briefly),
 // false when the rank blocked.
@@ -444,28 +651,23 @@ func (s *Sim) startSend(r *rankState, in Send) bool {
 	if in.To < 0 || in.To >= len(s.ranks) || in.To == r.id {
 		panic(fmt.Sprintf("cluster: rank %d sends to invalid rank %d", r.id, in.To))
 	}
-	c := s.chanFor(r.id, in.To)
+	ci := s.chanIdx(r.id, in.To)
+	c := &s.chans[ci]
 	if in.Bytes <= s.mc.EagerThreshold {
 		// Eager: payload is shipped immediately; the sender only pays the
 		// posting overhead.
-		arrival := s.now + s.transferTime(r.id, in.To, in.Bytes)
-		s.schedule(arrival, func() { s.deliverEager(c) })
+		s.scheduleEager(s.now+s.transferTime(r.id, in.To, in.Bytes), ci)
 		s.block(r, trace.SpanComm)
-		s.schedule(s.now+s.mc.SendOverhead, func() { s.resume(r) })
+		s.scheduleResume(s.now+s.mc.SendOverhead, r)
 		return false
 	}
 	// Rendezvous: wait for a matching posted receive, then transfer.
 	s.block(r, trace.SpanComm)
 	if len(c.recvs) > 0 {
-		req := c.recvs[0]
-		c.recvs = c.recvs[1:]
-		doneAt := s.now + s.transferTime(r.id, in.To, in.Bytes)
-		s.schedule(doneAt, func() {
-			s.completeRequest(req)
-			s.resume(r)
-		})
+		req := popFront(&c.recvs)
+		s.scheduleRendezvousDone(s.now+s.transferTime(r.id, in.To, in.Bytes), req, r)
 	} else {
-		c.sends = append(c.sends, &rendezvousSend{r: r, bytes: in.Bytes})
+		c.sends = append(c.sends, rendezvousSend{r: r, bytes: in.Bytes})
 	}
 	return false
 }
@@ -473,8 +675,7 @@ func (s *Sim) startSend(r *rankState, in Send) bool {
 // deliverEager handles an eager payload arriving at the receiver.
 func (s *Sim) deliverEager(c *channel) {
 	if len(c.recvs) > 0 {
-		req := c.recvs[0]
-		c.recvs = c.recvs[1:]
+		req := popFront(&c.recvs)
 		s.completeRequest(req)
 		return
 	}
@@ -486,24 +687,18 @@ func (s *Sim) postIrecv(r *rankState, in Irecv) {
 	if in.From < 0 || in.From >= len(s.ranks) || in.From == r.id {
 		panic(fmt.Sprintf("cluster: rank %d receives from invalid rank %d", r.id, in.From))
 	}
-	req := &request{owner: r}
+	req := s.newRequest(r)
 	r.pending = append(r.pending, req)
-	c := s.chanFor(in.From, r.id)
+	c := &s.chans[s.chanIdx(in.From, r.id)]
 	switch {
 	case len(c.arrived) > 0:
 		// Eager payload already here: completes immediately.
-		c.arrived = c.arrived[1:]
+		popFront(&c.arrived)
 		req.done = true
 	case len(c.sends) > 0:
 		// A rendezvous sender is blocked on us: start the transfer now.
-		snd := c.sends[0]
-		c.sends = c.sends[1:]
-		doneAt := s.now + s.transferTime(in.From, r.id, snd.bytes)
-		sender := snd.r
-		s.schedule(doneAt, func() {
-			s.completeRequest(req)
-			s.resume(sender)
-		})
+		snd := popFront(&c.sends)
+		s.scheduleRendezvousDone(s.now+s.transferTime(in.From, r.id, snd.bytes), req, snd.r)
 	default:
 		c.recvs = append(c.recvs, req)
 	}
@@ -518,20 +713,28 @@ func (s *Sim) completeRequest(req *request) {
 	switch {
 	case r.waiting && allDone(r.pending):
 		r.waiting = false
-		r.pending = r.pending[:0]
+		s.retireAll(r)
 		s.resume(r)
 	case r.waitingOne && len(r.pending) > 0 && r.pending[0].done:
 		r.waitingOne = false
-		r.pending = r.pending[1:]
+		s.freeRequest(popFront(&r.pending))
 		s.resume(r)
 	}
+}
+
+// retireAll recycles every (completed) pending request of r.
+func (s *Sim) retireAll(r *rankState) {
+	for _, q := range r.pending {
+		s.freeRequest(q)
+	}
+	r.pending = r.pending[:0]
 }
 
 // tryCompleteWaitall returns true when all requests are already complete
 // (Waitall falls through); otherwise it blocks the rank.
 func (s *Sim) tryCompleteWaitall(r *rankState) bool {
 	if allDone(r.pending) {
-		r.pending = r.pending[:0]
+		s.retireAll(r)
 		r.pc++
 		return true
 	}
@@ -549,7 +752,7 @@ func (s *Sim) tryCompleteWait(r *rankState) bool {
 		return true
 	}
 	if r.pending[0].done {
-		r.pending = r.pending[1:]
+		s.freeRequest(popFront(&r.pending))
 		r.pc++
 		return true
 	}
@@ -574,13 +777,11 @@ func (s *Sim) enterBarrier(r *rankState) {
 	s.barrier = append(s.barrier, r)
 	if len(s.barrier) == len(s.ranks) {
 		release := s.now + s.mc.NetLatency
-		waiters := s.barrier
-		s.barrier = nil
-		for _, w := range waiters {
+		for _, w := range s.barrier {
 			w.inBarrier = false
-			ww := w
-			s.schedule(release, func() { s.resume(ww) })
+			s.scheduleResume(release, w)
 		}
+		s.barrier = s.barrier[:0]
 	}
 }
 
@@ -600,12 +801,10 @@ func (s *Sim) enterAllreduce(r *rankState, bytes float64) {
 		}
 		cost := 2 * float64(depth) * s.interNodeTransferTime(s.allreduceBytes)
 		release := s.now + cost
-		waiters := s.allreduce
-		s.allreduce = nil
-		s.allreduceBytes = 0
-		for _, w := range waiters {
-			ww := w
-			s.schedule(release, func() { s.resume(ww) })
+		for _, w := range s.allreduce {
+			s.scheduleResume(release, w)
 		}
+		s.allreduce = s.allreduce[:0]
+		s.allreduceBytes = 0
 	}
 }

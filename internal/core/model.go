@@ -79,16 +79,50 @@ type Config struct {
 	PerturbAmp float64
 	// Atol and Rtol are solver tolerances; 0 selects 1e-8 / 1e-6.
 	Atol, Rtol float64
+	// Workers is the number of goroutines evaluating the right-hand side,
+	// chunked over contiguous oscillator ranges; 0 or 1 means serial.
+	// Parallel evaluation is bit-for-bit identical to serial evaluation:
+	// every oscillator's coupling sum is accumulated in the same order
+	// regardless of the chunking. Worth using from roughly N ≥ 512.
+	// With Workers > 1 the LocalNoise.Zeta and Potential batch methods
+	// are called concurrently from pool goroutines, so custom
+	// implementations must be safe for concurrent use (the built-in
+	// noises and potentials are stateless and qualify).
+	Workers int
 }
 
-// Model is a configured POM system ready to integrate.
+// Model is a configured POM system ready to integrate. A Model is not
+// safe for concurrent use; parallelism happens inside the right-hand
+// side via Config.Workers.
 type Model struct {
-	cfg       Config
-	period    float64
-	omega     float64
-	vp        float64
-	gain      float64
-	neighbors [][]int
+	cfg    Config
+	period float64
+	omega  float64
+	vp     float64
+	gain   float64
+	k      float64 // effective per-partner coupling v_p·G/N
+
+	// Hot-path state: the flat CSR neighbor arrays, the batched potential,
+	// and one scratch slot per directed edge. rhs gathers phase
+	// differences into dbuf (indexed exactly like flat.Cols), evaluates
+	// the potential over the packed buffer in one call, and reduces per
+	// row — no per-pair interface dispatch and no steady-state
+	// allocations.
+	flat  topology.FlatNeighbors
+	batch potential.Batch
+	dbuf  []float64
+	rows  []int32 // rows[p] = owning oscillator of edge p (gather loop)
+
+	// Parallel dispatch (Workers > 1): nw fixed chunk bounds over
+	// oscillator rows and a lazily started persistent worker pool. The
+	// per-call arguments are staged in cur* fields so dispatch sends only
+	// a chunk index over a channel.
+	nw      int
+	bounds  []int
+	pool    *rhsPool
+	curT    float64
+	curY    []float64
+	curDydt []float64
 }
 
 // New validates the configuration and builds a model.
@@ -111,6 +145,9 @@ func New(cfg Config) (*Model, error) {
 	if cfg.Init == CustomPhases && len(cfg.InitialPhases) != cfg.N {
 		return nil, fmt.Errorf("core: InitialPhases has %d entries, want %d", len(cfg.InitialPhases), cfg.N)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("core: negative Workers %d", cfg.Workers)
+	}
 	m := &Model{cfg: cfg}
 	m.period = cfg.TComp + cfg.TComm
 	m.omega = mathx.TwoPi / m.period
@@ -123,7 +160,29 @@ func New(cfg Config) (*Model, error) {
 	if m.gain == 0 {
 		m.gain = float64(cfg.N)
 	}
-	m.neighbors = cfg.Topology.Neighbors()
+	m.k = m.vp * m.gain / float64(cfg.N)
+	m.flat = cfg.Topology.Flat()
+	m.batch = potential.BatchOf(cfg.Potential)
+	m.dbuf = make([]float64, m.flat.NNZ())
+	m.rows = make([]int32, m.flat.NNZ())
+	for i := 0; i < cfg.N; i++ {
+		for p := m.flat.RowPtr[i]; p < m.flat.RowPtr[i+1]; p++ {
+			m.rows[p] = int32(i)
+		}
+	}
+	m.nw = cfg.Workers
+	if m.nw < 1 {
+		m.nw = 1
+	}
+	if m.nw > cfg.N {
+		m.nw = cfg.N
+	}
+	if m.nw > 1 {
+		m.bounds = make([]int, m.nw+1)
+		for c := 0; c <= m.nw; c++ {
+			m.bounds[c] = c * cfg.N / m.nw
+		}
+	}
 	return m, nil
 }
 
@@ -197,17 +256,72 @@ func (m *Model) zeta(i int, t float64) float64 {
 // rhs writes the Eq. (2) right-hand side. past is nil for the pure-ODE
 // path (no interaction noise); then partner phases are read from y.
 func (m *Model) rhs(t float64, y []float64, past ode.Past, dydt []float64) {
-	k := m.vp * m.gain / float64(m.cfg.N)
+	if past != nil && m.cfg.InteractionNoise != nil {
+		m.rhsDelayed(t, y, past, dydt)
+		return
+	}
+	if m.nw > 1 {
+		m.curT, m.curY, m.curDydt = t, y, dydt
+		m.ensurePool().run()
+		m.curY, m.curDydt = nil, nil
+		return
+	}
+	m.rhsRange(t, y, dydt, 0, m.cfg.N)
+}
+
+// EvalRHS evaluates the delay-free Eq. (2) right-hand side at time t into
+// dydt; both slices must have length N. (Interaction-noise delays need
+// the solution history and are only active inside Run.) It is exported
+// for benchmarks and external integrators.
+func (m *Model) EvalRHS(t float64, y, dydt []float64) { m.rhs(t, y, nil, dydt) }
+
+// rhsRange evaluates the delay-free right-hand side for oscillator rows
+// [lo, hi): gather the phase differences of the block into the packed
+// scratch buffer, evaluate the potential over the block in one batched
+// call, then reduce each row. Chunks touch disjoint dbuf/dydt ranges, so
+// pool workers can run this concurrently without synchronization.
+func (m *Model) rhsRange(t float64, y, dydt []float64, lo, hi int) {
+	rowPtr, cols, rows, buf := m.flat.RowPtr, m.flat.Cols, m.rows, m.dbuf
+	b0, b1 := rowPtr[lo], rowPtr[hi]
+	for p := b0; p < b1; p++ {
+		buf[p] = y[cols[p]] - y[rows[p]]
+	}
+	m.batch.EvalInto(buf[b0:b1], buf[b0:b1])
+	k := m.k
+	if m.cfg.LocalNoise == nil {
+		for i := lo; i < hi; i++ {
+			var c float64
+			for p := rowPtr[i]; p < rowPtr[i+1]; p++ {
+				c += buf[p]
+			}
+			dydt[i] = m.omega + k*c
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		var c float64
+		for p := rowPtr[i]; p < rowPtr[i+1]; p++ {
+			c += buf[p]
+		}
+		dydt[i] = mathx.TwoPi/(m.period+m.zeta(i, t)) + k*c
+	}
+}
+
+// rhsDelayed is the DDE path: partner phases older than t are read from
+// the dense-output history. Delays are per-pair and time-dependent, so
+// this path stays scalar; it still walks the flat CSR arrays.
+func (m *Model) rhsDelayed(t float64, y []float64, past ode.Past, dydt []float64) {
+	rowPtr, cols := m.flat.RowPtr, m.flat.Cols
 	inoise := m.cfg.InteractionNoise
+	k := m.k
 	for i := range y {
 		freq := mathx.TwoPi / (m.period + m.zeta(i, t))
 		var coupling float64
-		for _, j := range m.neighbors[i] {
+		for p := rowPtr[i]; p < rowPtr[i+1]; p++ {
+			j := int(cols[p])
 			thj := y[j]
-			if past != nil && inoise != nil {
-				if tau := inoise.Tau(i, j, t); tau > 0 {
-					thj = past.Eval(j, t-tau)
-				}
+			if tau := inoise.Tau(i, j, t); tau > 0 {
+				thj = past.Eval(j, t-tau)
 			}
 			coupling += m.cfg.Potential.Eval(thj - y[i])
 		}
@@ -242,6 +356,14 @@ func (m *Model) Run(tEnd float64, nSamples int) (*Result, error) {
 	}
 	if rtol == 0 {
 		rtol = 1e-6
+	}
+	// The worker pool restarts lazily on the first parallel rhs call, so
+	// releasing it here means a Model dropped after Run leaks no
+	// goroutines even without an explicit Close (sweeps build thousands
+	// of models). Direct EvalRHS users keep the pool across calls and
+	// own the Close.
+	if m.nw > 1 {
+		defer m.Close()
 	}
 	solver := ode.NewDOPRI5(atol, rtol)
 	// Cap the step at a quarter period: the noise channels are

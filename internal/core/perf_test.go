@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/noise"
+	"repro/internal/potential"
+	"repro/internal/topology"
+)
+
+// perfModel builds an N-oscillator sine-potential ring model for the
+// allocation and determinism tests.
+func perfModel(t testing.TB, n, workers int, local noise.Local) *Model {
+	t.Helper()
+	tp, err := topology.NextNeighbor(n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{
+		N: n, TComp: 0.8, TComm: 0.2,
+		Potential:  potential.KuramotoSine{},
+		Topology:   tp,
+		LocalNoise: local,
+		Workers:    workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestRHSZeroAllocs asserts the performance invariant of the flat-CSR
+// right-hand side: zero steady-state allocations, serial and parallel.
+func TestRHSZeroAllocs(t *testing.T) {
+	const n = 256
+	y := make([]float64, n)
+	dydt := make([]float64, n)
+	for i := range y {
+		y[i] = 0.01 * float64(i)
+	}
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"workers4", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := perfModel(t, n, tc.workers, nil)
+			defer m.Close()
+			m.EvalRHS(0, y, dydt) // warm scratch buffers and worker pool
+			allocs := testing.AllocsPerRun(100, func() {
+				m.EvalRHS(0, y, dydt)
+			})
+			if allocs != 0 {
+				t.Fatalf("EvalRHS allocates %v objects per call in steady state, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestRHSMatchesScalarReference cross-checks the batched evaluation
+// against a direct scalar transcription of Eq. (2) for every built-in
+// potential shape.
+func TestRHSMatchesScalarReference(t *testing.T) {
+	const n = 64
+	tp, err := topology.Stencil(n, []int{-2, -1, 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pots := []potential.Potential{
+		potential.KuramotoSine{},
+		potential.Tanh{},
+		potential.Linear{},
+		potential.NewDesync(1.5),
+		potential.Clipped{Inner: potential.Linear{}, Limit: 0.7},
+	}
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = math.Sin(0.37 * float64(i))
+	}
+	for _, p := range pots {
+		m, err := New(Config{
+			N: n, TComp: 0.8, TComm: 0.2, Potential: p, Topology: tp,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, n)
+		m.EvalRHS(0, y, got)
+		nb := tp.Neighbors()
+		k := m.Coupling()
+		for i := 0; i < n; i++ {
+			var c float64
+			for _, j := range nb[i] {
+				c += p.Eval(y[j] - y[i])
+			}
+			want := m.Omega() + k*c
+			if got[i] != want {
+				t.Fatalf("%s: dydt[%d] = %v, scalar reference %v", p.Name(), i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestWorkersDeterminism asserts that parallel right-hand-side evaluation
+// reproduces the serial integration bit-for-bit, including under local
+// noise.
+func TestWorkersDeterminism(t *testing.T) {
+	const n = 96
+	local := noise.Sum{
+		noise.Delay{Rank: n / 2, Start: 5, Duration: 2, Extra: 50},
+		noise.Jitter{Dist: noise.Gaussian, Amp: 0.02, Refresh: 1, Seed: 7},
+	}
+	serial := perfModel(t, n, 1, local)
+	parallel := perfModel(t, n, 4, local)
+	defer parallel.Close()
+
+	resS, err := serial.Run(40, 201)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resP, err := parallel.Run(40, 201)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resS.Theta) != len(resP.Theta) {
+		t.Fatalf("sample counts differ: %d vs %d", len(resS.Theta), len(resP.Theta))
+	}
+	for k := range resS.Theta {
+		for i := range resS.Theta[k] {
+			if resS.Theta[k][i] != resP.Theta[k][i] {
+				t.Fatalf("sample %d oscillator %d: serial %v != workers4 %v (diff %g)",
+					k, i, resS.Theta[k][i], resP.Theta[k][i],
+					resS.Theta[k][i]-resP.Theta[k][i])
+			}
+		}
+	}
+	if resS.Stats != resP.Stats {
+		t.Fatalf("solver stats diverge: serial %v, workers4 %v", resS.Stats, resP.Stats)
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+// rhsPool is the persistent worker pool behind Config.Workers. The
+// goroutines are started on the first parallel right-hand-side call and
+// then reused for every subsequent call: a dispatch sends one chunk index
+// per worker over a channel and waits for the matching completions, so a
+// steady-state evaluation performs no allocations. The per-call arguments
+// (t, y, dydt) are staged in the owning Model's cur* fields before
+// dispatch.
+//
+// Determinism: the chunk boundaries are fixed at model construction and
+// every chunk writes a disjoint dydt (and scratch-buffer) range while
+// reading only the shared y, so the floating-point result is bit-for-bit
+// identical to the serial evaluation no matter how the chunks are
+// interleaved.
+type rhsPool struct {
+	jobs chan int
+	done chan struct{}
+}
+
+// ensurePool lazily starts the worker goroutines. rhs is only ever called
+// from one goroutine at a time (the ODE solver), so no locking is needed.
+func (m *Model) ensurePool() *rhsPool {
+	if m.pool == nil {
+		p := &rhsPool{
+			jobs: make(chan int, m.nw),
+			done: make(chan struct{}, m.nw),
+		}
+		for w := 0; w < m.nw; w++ {
+			go func() {
+				for c := range p.jobs {
+					m.rhsRange(m.curT, m.curY, m.curDydt, m.bounds[c], m.bounds[c+1])
+					p.done <- struct{}{}
+				}
+			}()
+		}
+		m.pool = p
+	}
+	return m.pool
+}
+
+// run evaluates all chunks on the pool and blocks until every chunk is
+// done.
+func (p *rhsPool) run() {
+	n := cap(p.jobs)
+	for c := 0; c < n; c++ {
+		p.jobs <- c
+	}
+	for c := 0; c < n; c++ {
+		<-p.done
+	}
+}
+
+// Close stops the worker goroutines of a Workers > 1 model. It is safe to
+// call on any model (serial models have no pool) and the pool restarts
+// transparently if the model is used again afterwards.
+func (m *Model) Close() {
+	if m.pool != nil {
+		close(m.pool.jobs)
+		m.pool = nil
+	}
+}

@@ -154,6 +154,15 @@ func (m *CSR) IsSymmetric(tol float64) bool {
 	return sym
 }
 
+// RowPtr returns the CSR row-offset array (length rows+1): the nonzeros
+// of row i occupy positions RowPtr()[i] to RowPtr()[i+1] of ColIdx().
+// The slice is shared with the matrix and must be treated as read-only.
+func (m *CSR) RowPtr() []int { return m.rowPtr }
+
+// ColIdx returns the packed column-index array of the nonzeros, row-major.
+// The slice is shared with the matrix and must be treated as read-only.
+func (m *CSR) ColIdx() []int { return m.colIdx }
+
 // Neighbors returns, for every row, the column indices of its nonzeros.
 // For a topology matrix this is each rank's communication partner list.
 func (m *CSR) Neighbors() [][]int {

@@ -1,0 +1,54 @@
+//go:build amd64
+
+package mathx
+
+import "math"
+
+// useSinVector gates the packed AVX2 sine kernel; it requires the CPU to
+// support AVX2 and the OS to have enabled YMM state.
+var useSinVector = sinHasAVX2()
+
+// sinVecTab is the broadcast float64 constant table of the packed kernel
+// (each constant repeated across one 32-byte lane group). The offsets are
+// hard-coded in sinbatch_amd64.s — keep the order in sync.
+var sinVecTab [20 * 4]float64
+
+// sinVecTabI32 holds the packed int32 constants for the octant logic,
+// 16-byte groups: [1 1 1 1], [7 7 7 7], [3 3 3 3], [2 2 2 2].
+var sinVecTabI32 = [16]int32{
+	1, 1, 1, 1,
+	7, 7, 7, 7,
+	3, 3, 3, 3,
+	2, 2, 2, 2,
+}
+
+func init() {
+	scalars := [20]float64{
+		4 / math.Pi,
+		sinPI4A, sinPI4B, sinPI4C,
+		sinCoeff[0], sinCoeff[1], sinCoeff[2], sinCoeff[3], sinCoeff[4], sinCoeff[5],
+		cosCoeff[0], cosCoeff[1], cosCoeff[2], cosCoeff[3], cosCoeff[4], cosCoeff[5],
+		0.5,
+		1.0,
+		math.Float64frombits(0x7FFFFFFFFFFFFFFF), // abs mask
+		sinReduceThreshold,
+	}
+	for i, s := range scalars {
+		for l := 0; l < 4; l++ {
+			sinVecTab[i*4+l] = s
+		}
+	}
+}
+
+// sinIntoVector evaluates n (a multiple of 4) sines with the packed AVX2
+// kernel. Per lane it performs exactly the scalar operation sequence
+// (multiply/add/subtract, no FMA), so results are bit-identical to the
+// scalar fast path. It reports true when every lane stayed inside the
+// fast reduction range; otherwise the caller must patch the out-of-range
+// elements with math.Sin (their dst lanes hold garbage).
+//
+//go:noescape
+func sinIntoVector(dst, x *float64, n int) bool
+
+// sinHasAVX2 reports AVX2 plus OS-enabled YMM state via CPUID/XGETBV.
+func sinHasAVX2() bool

@@ -1,0 +1,155 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func sinIntoVector(dst, x *float64, n int) bool
+//
+// Packed (4-wide AVX2) Cephes sine: per lane the exact operation sequence
+// of the scalar fast path in sinbatch.go — Cody–Waite three-part π/4
+// reduction, the sin/cos minimax polynomials, sign/reflection carried as
+// XOR masks — using only VMULPD/VADDPD/VSUBPD (no FMA contraction), so
+// each lane's result is bit-identical to the scalar code. Lanes with
+// |x| ≥ 2²⁹ or NaN/Inf produce garbage that the Go caller patches with
+// math.Sin; their occurrence is accumulated into the boolean result
+// ("true" = no such lane).
+//
+// Constant tables (see sinbatch_amd64.go):
+//   sinVecTab    float64×4 groups: 0 M4PI, 32 PI4A, 64 PI4B, 96 PI4C,
+//                128..288 sin coeffs S0..S5, 320..480 cos coeffs C0..C5,
+//                512 0.5, 544 1.0, 576 absMask, 608 reduceThreshold
+//   sinVecTabI32 int32×4 groups: 0 [1], 16 [7], 32 [3], 48 [2]
+TEXT ·sinIntoVector(SB), NOSPLIT, $0-25
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ n+16(FP), CX
+	LEAQ ·sinVecTab(SB), R8
+	LEAQ ·sinVecTabI32(SB), R9
+
+	VMOVUPD 576(R8), Y13     // absMask
+	VMOVUPD 608(R8), Y14     // reduce threshold
+	VPCMPEQD Y15, Y15, Y15   // okAcc = all ones
+
+	XORQ AX, AX              // element index
+
+loop:
+	CMPQ AX, CX
+	JGE  done
+	VMOVUPD (SI)(AX*8), Y0   // x
+	VANDPD  Y13, Y0, Y1      // av = |x|
+	VANDNPD Y0, Y13, Y2      // sign = x & ^absMask
+	VCMPPD  $0x11, Y14, Y1, Y3 // ok = av < threshold (LT_OQ: NaN -> false)
+	VPAND   Y3, Y15, Y15     // okAcc &= ok
+
+	// Octant: j = int32(trunc(av * 4/Pi)); j += j&1; y = float64(j); j &= 7
+	VMULPD  0(R8), Y1, Y4
+	VCVTTPD2DQY Y4, X5       // j (4 x int32, truncated)
+	VMOVDQU 0(R9), X6        // [1 1 1 1]
+	VPAND   X6, X5, X7
+	VPADDD  X7, X5, X5       // j += j & 1
+	VCVTDQ2PD X5, Y4         // y = float64(j), exact (j < 2^30)
+	VMOVDQU 16(R9), X6       // [7 7 7 7]
+	VPAND   X6, X5, X5       // j &= 7
+
+	// z = ((av - y*PI4A) - y*PI4B) - y*PI4C
+	VMULPD  32(R8), Y4, Y6
+	VSUBPD  Y6, Y1, Y7
+	VMULPD  64(R8), Y4, Y6
+	VSUBPD  Y6, Y7, Y7
+	VMULPD  96(R8), Y4, Y6
+	VSUBPD  Y6, Y7, Y7       // z
+
+	// Reflection: octants 4..7 flip the sign; j &= 3
+	VMOVDQU 32(R9), X6       // [3 3 3 3]
+	VPCMPGTD X6, X5, X8      // j > 3
+	VPMOVSXDQ X8, Y9
+	VANDNPD Y9, Y13, Y10     // sign bit where reflected
+	VXORPD  Y10, Y2, Y2      // sign ^= reflection
+	VPAND   X6, X5, X5       // j &= 3
+
+	VMULPD  Y7, Y7, Y8       // zz = z*z
+
+	// Sine kernel: rs = z + z*zz*((((((S0*zz)+S1)*zz+S2)*zz+S3)*zz+S4)*zz+S5)
+	VMULPD  128(R8), Y8, Y10
+	VADDPD  160(R8), Y10, Y10
+	VMULPD  Y8, Y10, Y10
+	VADDPD  192(R8), Y10, Y10
+	VMULPD  Y8, Y10, Y10
+	VADDPD  224(R8), Y10, Y10
+	VMULPD  Y8, Y10, Y10
+	VADDPD  256(R8), Y10, Y10
+	VMULPD  Y8, Y10, Y10
+	VADDPD  288(R8), Y10, Y10
+	VMULPD  Y8, Y7, Y11      // z*zz
+	VMULPD  Y10, Y11, Y10    // (z*zz)*p
+	VADDPD  Y7, Y10, Y10     // rs
+
+	// Cosine kernel: rc = 1.0 - 0.5*zz + zz*zz*((((((C0*zz)+C1)*zz+C2)*zz+C3)*zz+C4)*zz+C5)
+	VMULPD  320(R8), Y8, Y11
+	VADDPD  352(R8), Y11, Y11
+	VMULPD  Y8, Y11, Y11
+	VADDPD  384(R8), Y11, Y11
+	VMULPD  Y8, Y11, Y11
+	VADDPD  416(R8), Y11, Y11
+	VMULPD  Y8, Y11, Y11
+	VADDPD  448(R8), Y11, Y11
+	VMULPD  Y8, Y11, Y11
+	VADDPD  480(R8), Y11, Y11
+	VMULPD  Y8, Y8, Y12      // zz*zz
+	VMULPD  Y11, Y12, Y11    // (zz*zz)*q
+	VMULPD  512(R8), Y8, Y12 // 0.5*zz
+	VMOVUPD 544(R8), Y6      // 1.0
+	VSUBPD  Y12, Y6, Y12     // 1.0 - 0.5*zz
+	VADDPD  Y11, Y12, Y11    // rc
+
+	// Select the cosine kernel for octants 1 and 2, then apply the sign.
+	VMOVDQU 0(R9), X6        // [1 1 1 1]
+	VPCMPEQD X6, X5, X7      // j == 1
+	VMOVDQU 48(R9), X6       // [2 2 2 2]
+	VPCMPEQD X6, X5, X4      // j == 2
+	VPOR    X4, X7, X7
+	VPMOVSXDQ X7, Y9
+	VANDPD  Y9, Y11, Y11     // rc where cos
+	VANDNPD Y10, Y9, Y10     // rs where sin
+	VORPD   Y11, Y10, Y10
+	VXORPD  Y2, Y10, Y10
+	// Lanes outside the fast range keep the original argument (dst may
+	// alias x, and the caller's math.Sin patch pass reads it back).
+	VANDPD  Y3, Y10, Y10     // result where ok
+	VANDNPD Y0, Y3, Y6       // original x where not ok
+	VORPD   Y6, Y10, Y10
+	VMOVUPD Y10, (DI)(AX*8)
+
+	ADDQ $4, AX
+	JMP  loop
+
+done:
+	VMOVMSKPD Y15, AX        // 4 bits, one per lane of okAcc
+	CMPL AX, $0xF
+	SETEQ ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func sinHasAVX2() bool
+TEXT ·sinHasAVX2(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $(1<<27 | 1<<28), R8 // OSXSAVE | AVX
+	CMPL R8, $(1<<27 | 1<<28)
+	JNE  novec
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX               // XMM and YMM state enabled by the OS
+	CMPL AX, $6
+	JNE  novec
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX          // AVX2
+	JZ   novec
+	MOVB $1, ret+0(FP)
+	RET
+novec:
+	MOVB $0, ret+0(FP)
+	RET

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package mathx
+
+// useSinVector is false off amd64: SinInto runs the scalar fast path.
+const useSinVector = false
+
+// sinIntoVector is never called when useSinVector is false.
+func sinIntoVector(dst, x *float64, n int) bool { panic("mathx: no vector sine kernel") }

@@ -1,0 +1,84 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSinIntoMatchesMathSin asserts bitwise agreement with math.Sin over
+// dense sweeps of the ranges the oscillator model produces (phase
+// differences within a few hundred radians), the reduction corners, and
+// the special cases.
+func TestSinIntoMatchesMathSin(t *testing.T) {
+	var xs []float64
+	for x := -700.0; x <= 700.0; x += 0.0137 {
+		xs = append(xs, x)
+	}
+	corners := []float64{
+		0, math.Copysign(0, -1), 1e-300, -1e-300,
+		math.Pi / 4, -math.Pi / 4, math.Pi / 2, math.Pi, 2 * math.Pi,
+		1 << 28, 1<<29 - 1, 1 << 29, 1 << 30, 1e12, -1e12,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+	}
+	xs = append(xs, corners...)
+	got := make([]float64, len(xs))
+	SinInto(got, xs)
+	for i, x := range xs {
+		want := math.Sin(x)
+		if math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Fatalf("SinInto(%g) = %v (bits %#x), math.Sin = %v (bits %#x)",
+				x, got[i], math.Float64bits(got[i]), want, math.Float64bits(want))
+		}
+	}
+}
+
+// TestSinIntoAliasing asserts in-place evaluation is supported, including
+// the tricky case where out-of-fast-range elements (|x| ≥ 2²⁹, NaN, Inf)
+// sit inside vector lane groups: the kernel must not clobber the aliased
+// input before the math.Sin patch pass re-reads it.
+func TestSinIntoAliasing(t *testing.T) {
+	cases := [][]float64{
+		{-2, -1, 0, 1, 2},
+		{0.1, 1 << 30, 0.2, 0.3, 0.4, -5e12, 0.5, 0.6}, // huge args in lane groups
+		{math.NaN(), 1 << 29, math.Inf(1), -0.7, 0.8, math.Inf(-1), 1e300, -1e300},
+	}
+	for _, src := range cases {
+		want := make([]float64, len(src))
+		for i, v := range src {
+			want[i] = math.Sin(v)
+		}
+		buf := append([]float64(nil), src...)
+		SinInto(buf, buf)
+		for i := range buf {
+			if math.Float64bits(buf[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("in-place SinInto(%g) = %v, math.Sin = %v", src[i], buf[i], want[i])
+			}
+		}
+	}
+}
+
+func BenchmarkSinInto(b *testing.B) {
+	xs := make([]float64, 2048)
+	for i := range xs {
+		xs[i] = 0.37 * float64(i%157)
+	}
+	dst := make([]float64, len(xs))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SinInto(dst, xs)
+	}
+}
+
+func BenchmarkMathSinLoop(b *testing.B) {
+	xs := make([]float64, 2048)
+	for i := range xs {
+		xs[i] = 0.37 * float64(i%157)
+	}
+	dst := make([]float64, len(xs))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j, x := range xs {
+			dst[j] = math.Sin(x)
+		}
+	}
+}

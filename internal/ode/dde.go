@@ -25,6 +25,9 @@ type History struct {
 	t0   float64
 	pre  func(j int, t float64) float64
 	segs []*DenseSegment
+	// Pool, when non-nil, receives the segments Compact retires, so the
+	// solver can reuse them instead of allocating fresh ones each step.
+	Pool *SegmentPool
 }
 
 // NewHistory creates a history starting at t0 with the given prehistory
@@ -73,13 +76,19 @@ func (h *History) Eval(j int, t float64) float64 {
 }
 
 // Compact drops segments that end before tmin, bounding memory for long
-// integrations with bounded delays.
+// integrations with bounded delays. Dropped segments are recycled through
+// the history's Pool when one is attached.
 func (h *History) Compact(tmin float64) {
 	cut := 0
 	for cut < len(h.segs)-1 && h.segs[cut].End() < tmin {
 		cut++
 	}
 	if cut > 0 {
+		if h.Pool != nil {
+			for _, seg := range h.segs[:cut] {
+				h.Pool.Put(seg)
+			}
+		}
 		h.segs = append(h.segs[:0], h.segs[cut:]...)
 	}
 }
@@ -109,9 +118,15 @@ func (s *DOPRI5) SolveDDE(f DelayFunc, y0 []float64, t0, t1 float64, opt DDEOpti
 		pre = func(j int, _ float64) float64 { return init[j] }
 	}
 	hist := NewHistory(t0, pre)
+	// Segments retired from the bounded history window feed the pool the
+	// solver draws fresh segments from: once the window is full the
+	// per-step segment cost drops to zero allocations.
+	pool := &SegmentPool{}
+	hist.Pool = pool
 	wrapped := func(t float64, y, dydt []float64) { f(t, y, hist, dydt) }
 	res, err := s.Solve(wrapped, y0, t0, t1, SolveOptions{
 		SampleTs: opt.SampleTs,
+		Pool:     pool,
 		OnStep: func(seg *DenseSegment) {
 			hist.Push(seg)
 			if opt.MaxDelay > 0 {

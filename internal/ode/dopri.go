@@ -73,6 +73,11 @@ type DOPRI5 struct {
 
 	k1, k2, k3, k4, k5, k6, k7 []float64
 	ytmp, yerr                 []float64
+	y, ynew, ysmp              []float64
+
+	// scratchSeg is the dense segment reused across steps when the caller
+	// does not retain dense output (no KeepDense, OnStep, or Pool).
+	scratchSeg DenseSegment
 }
 
 // NewDOPRI5 returns an integrator with the given tolerances and sensible
@@ -87,8 +92,49 @@ func NewDOPRI5(atol, rtol float64) *DOPRI5 {
 // delays).
 type DenseSegment struct {
 	T0, H float64
-	// rcont holds the five interpolation coefficient vectors.
-	rcont [5][]float64
+	// rcont holds the five interpolation coefficient vectors, carved out
+	// of one shared backing array so a segment costs two allocations at
+	// most — and zero when recycled through a SegmentPool.
+	rcont   [5][]float64
+	backing []float64
+}
+
+// reserve sizes the interpolation vectors for dimension n, reusing the
+// backing array when it is already large enough.
+func (seg *DenseSegment) reserve(n int) {
+	if cap(seg.backing) < 5*n {
+		seg.backing = make([]float64, 5*n)
+	}
+	b := seg.backing[:5*n]
+	for i := range seg.rcont {
+		seg.rcont[i] = b[i*n : (i+1)*n : (i+1)*n]
+	}
+}
+
+// SegmentPool recycles DenseSegments so long integrations that discard
+// old history (the DDE driver's Compact) reach a steady state with no
+// per-step allocations. The zero value is ready to use.
+type SegmentPool struct{ free []*DenseSegment }
+
+// Get returns a segment sized for dimension n, reusing a recycled one
+// when available.
+func (p *SegmentPool) Get(n int) *DenseSegment {
+	if m := len(p.free); m > 0 {
+		seg := p.free[m-1]
+		p.free = p.free[:m-1]
+		seg.reserve(n)
+		return seg
+	}
+	seg := &DenseSegment{}
+	seg.reserve(n)
+	return seg
+}
+
+// Put returns a segment to the pool. The caller must not use it again.
+func (p *SegmentPool) Put(seg *DenseSegment) {
+	if seg != nil {
+		p.free = append(p.free, seg)
+	}
 }
 
 // Eval writes the interpolated state at time t into dst and returns it.
@@ -126,6 +172,10 @@ type SolveOptions struct {
 	// OnStep, when non-nil, is invoked after every accepted step with the
 	// segment for that step (used by the DDE history).
 	OnStep func(seg *DenseSegment)
+	// Pool, when non-nil, supplies the dense segments handed to OnStep /
+	// KeepDense. Pair it with a consumer that recycles retired segments
+	// (the DDE history's Compact) to make long runs allocation-free.
+	Pool *SegmentPool
 }
 
 // Result bundles the solution, work statistics, and (optionally) the dense
@@ -155,14 +205,34 @@ func (s *DOPRI5) Solve(f Func, y0 []float64, t0, t1 float64, opt SolveOptions) (
 	s.alloc(n)
 	res := &Result{}
 
-	y := append([]float64(nil), y0...)
-	ynew := make([]float64, n)
+	s.y = grow(s.y, n)
+	copy(s.y, y0)
+	s.ynew = grow(s.ynew, n)
+	y, ynew := s.y, s.ynew
 	t := t0
 
+	// With a known sample plan the output rows are carved out of one
+	// arena allocation instead of one allocation per sample.
+	var arena []float64
+	arenaNext := 0
+	if opt.SampleTs != nil {
+		rows := len(opt.SampleTs) + 1
+		arena = make([]float64, rows*n)
+		res.Ts = make([]float64, 0, rows)
+		res.Ys = make([][]float64, 0, rows)
+	}
 	sampleIdx := 0
 	record := func(tt float64, v []float64) {
 		res.Ts = append(res.Ts, tt)
-		res.Ys = append(res.Ys, append([]float64(nil), v...))
+		var row []float64
+		if arena != nil {
+			row = arena[arenaNext : arenaNext+n : arenaNext+n]
+			arenaNext += n
+		} else {
+			row = make([]float64, n)
+		}
+		copy(row, v)
+		res.Ys = append(res.Ys, row)
 	}
 	record(t0, y)
 	// Skip any requested samples that coincide with t0.
@@ -182,6 +252,13 @@ func (s *DOPRI5) Solve(f Func, y0 []float64, t0, t1 float64, opt SolveOptions) (
 
 	f(t, y, s.k1) // first stage; FSAL recycles k7 afterwards
 	res.Stats.Evals++
+
+	// retain: the caller keeps segments beyond the current step, so each
+	// accepted step needs its own (pooled or fresh) segment. Otherwise the
+	// solver-local scratch segment is reused, and no segment is built at
+	// all when nothing consumes dense output.
+	retain := opt.KeepDense || opt.OnStep != nil
+	needDense := retain || opt.SampleTs != nil
 
 	errOld := 1e-4
 	maxSteps := s.MaxSteps
@@ -203,12 +280,25 @@ func (s *DOPRI5) Solve(f Func, y0 []float64, t0, t1 float64, opt SolveOptions) (
 
 		if errNorm <= 1 { // accept
 			res.Stats.Accepted++
-			seg := s.makeDense(t, h, y, ynew)
-			if opt.OnStep != nil {
-				opt.OnStep(seg)
-			}
-			if opt.KeepDense {
-				res.Dense = append(res.Dense, seg)
+			var seg *DenseSegment
+			if needDense {
+				switch {
+				case opt.Pool != nil:
+					seg = opt.Pool.Get(n)
+				case retain:
+					seg = &DenseSegment{}
+					seg.reserve(n)
+				default:
+					seg = &s.scratchSeg
+					seg.reserve(n)
+				}
+				s.fillDense(seg, t, h, y, ynew)
+				if opt.OnStep != nil {
+					opt.OnStep(seg)
+				}
+				if opt.KeepDense {
+					res.Dense = append(res.Dense, seg)
+				}
 			}
 			tNew := t + h
 			if opt.SampleTs == nil {
@@ -216,7 +306,7 @@ func (s *DOPRI5) Solve(f Func, y0 []float64, t0, t1 float64, opt SolveOptions) (
 			} else {
 				for sampleIdx < len(opt.SampleTs) && opt.SampleTs[sampleIdx] <= tNew+1e-14 {
 					ts := opt.SampleTs[sampleIdx]
-					record(ts, seg.Eval(ts, nil))
+					record(ts, seg.Eval(ts, s.ysmp))
 					sampleIdx++
 				}
 			}
@@ -276,13 +366,11 @@ func (s *DOPRI5) step(f Func, t float64, y []float64, h float64, ynew []float64)
 	return mathx.ScaledNorm(s.yerr, y, ynew, s.Atol, s.Rtol)
 }
 
-// makeDense builds the continuous extension of the step just accepted.
-func (s *DOPRI5) makeDense(t, h float64, y, ynew []float64) *DenseSegment {
+// fillDense writes the continuous extension of the step just accepted
+// into seg, whose interpolation vectors must already be sized (reserve).
+func (s *DOPRI5) fillDense(seg *DenseSegment, t, h float64, y, ynew []float64) {
 	n := len(y)
-	seg := &DenseSegment{T0: t, H: h}
-	for i := range seg.rcont {
-		seg.rcont[i] = make([]float64, n)
-	}
+	seg.T0, seg.H = t, h
 	for i := 0; i < n; i++ {
 		ydiff := ynew[i] - y[i]
 		bspl := h*s.k1[i] - ydiff
@@ -292,13 +380,14 @@ func (s *DOPRI5) makeDense(t, h float64, y, ynew []float64) *DenseSegment {
 		seg.rcont[3][i] = ydiff - h*s.k7[i] - bspl
 		seg.rcont[4][i] = h * (d1*s.k1[i] + d3*s.k3[i] + d4*s.k4[i] + d5*s.k5[i] + d6*s.k6[i] + d7*s.k7[i])
 	}
-	return seg
 }
 
-// initialStep implements Hairer's automatic initial step heuristic.
+// initialStep implements Hairer's automatic initial step heuristic. It
+// borrows the k2/k3/ytmp stage buffers as scratch (alloc must have run;
+// the stages are overwritten by the first step anyway).
 func (s *DOPRI5) initialStep(f Func, t0 float64, y0 []float64, t1 float64) float64 {
 	n := len(y0)
-	f0 := make([]float64, n)
+	f0 := s.k2
 	f(t0, y0, f0)
 	var d0, dY float64
 	for i := 0; i < n; i++ {
@@ -314,8 +403,8 @@ func (s *DOPRI5) initialStep(f Func, t0 float64, y0 []float64, t1 float64) float
 	}
 	h0 = math.Min(h0, t1-t0)
 
-	y1 := make([]float64, n)
-	f1 := make([]float64, n)
+	y1 := s.ytmp
+	f1 := s.k3
 	for i := 0; i < n; i++ {
 		y1[i] = y0[i] + h0*f0[i]
 	}
@@ -347,4 +436,5 @@ func (s *DOPRI5) alloc(n int) {
 	s.k7 = grow(s.k7, n)
 	s.ytmp = grow(s.ytmp, n)
 	s.yerr = grow(s.yerr, n)
+	s.ysmp = grow(s.ysmp, n)
 }

@@ -1,0 +1,66 @@
+package potential
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBatchMatchesScalar asserts every built-in Batch implementation
+// reproduces Eval bit-for-bit, both into a separate destination and fully
+// in place (dst aliasing dtheta).
+func TestBatchMatchesScalar(t *testing.T) {
+	sigma := 0.513372617044002 // awkward horizon exercising the boundary
+	pots := []Potential{
+		KuramotoSine{},
+		Tanh{},
+		Linear{},
+		NewDesync(sigma),
+		NewDesync(1.5),
+		Clipped{Inner: KuramotoSine{}, Limit: 0.5},
+		Clipped{Inner: Func{F: math.Atan, ID: "atan"}, Limit: 1},
+		Func{F: math.Cbrt, ID: "cbrt"},
+	}
+	var xs []float64
+	for x := -8.0; x <= 8.0; x += 0.0173 {
+		xs = append(xs, x)
+	}
+	xs = append(xs,
+		0, math.Copysign(0, -1),
+		sigma, -sigma, math.Nextafter(sigma, 0), -math.Nextafter(sigma, 0),
+		math.NaN(), 1e9, -1e9,
+	)
+	for _, p := range pots {
+		b := BatchOf(p)
+		want := make([]float64, len(xs))
+		for i, x := range xs {
+			want[i] = p.Eval(x)
+		}
+		got := make([]float64, len(xs))
+		b.EvalInto(got, xs)
+		for i := range xs {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("%s: EvalInto(%g) = %v, Eval = %v", p.Name(), xs[i], got[i], want[i])
+			}
+		}
+		// In-place (aliased) evaluation must agree too.
+		inPlace := append([]float64(nil), xs...)
+		b.EvalInto(inPlace, inPlace)
+		for i := range xs {
+			if math.Float64bits(inPlace[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("%s: aliased EvalInto(%g) = %v, Eval = %v", p.Name(), xs[i], inPlace[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchOfPassthrough asserts BatchOf returns native implementations
+// unwrapped and adapts plain potentials.
+func TestBatchOfPassthrough(t *testing.T) {
+	if _, ok := BatchOf(KuramotoSine{}).(KuramotoSine); !ok {
+		t.Fatal("BatchOf(KuramotoSine) should be the native implementation")
+	}
+	f := Func{F: math.Atan, ID: "atan"}
+	if _, ok := BatchOf(f).(genericBatch); !ok {
+		t.Fatal("BatchOf(Func) should wrap with the generic adapter")
+	}
+}

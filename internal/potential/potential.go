@@ -13,6 +13,8 @@ package potential
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/mathx"
 )
 
 // Potential is an interaction potential V(Δθ) evaluated on the phase
@@ -22,6 +24,38 @@ type Potential interface {
 	Eval(dtheta float64) float64
 	// Name returns a short identifier for tables and plots.
 	Name() string
+}
+
+// Batch is implemented by potentials that can evaluate many phase
+// differences in one call. The oscillator model's right-hand side gathers
+// all phase differences of a row block into one buffer and issues a single
+// EvalInto per block, so the per-pair cost is a straight-line float loop
+// with no interface dispatch.
+type Batch interface {
+	Potential
+	// EvalInto writes V(dtheta[i]) into dst[i] for every i. dst and dtheta
+	// must have equal length and may alias (in-place evaluation is legal).
+	EvalInto(dst, dtheta []float64)
+}
+
+// genericBatch adapts any Potential to Batch with an elementwise loop —
+// the fallback for custom potentials that only implement Eval.
+type genericBatch struct{ Potential }
+
+func (g genericBatch) EvalInto(dst, dtheta []float64) {
+	for i, d := range dtheta {
+		dst[i] = g.Potential.Eval(d)
+	}
+}
+
+// BatchOf returns p itself when it already implements Batch, and an
+// elementwise adapter otherwise, so callers can always evaluate through
+// the slice API.
+func BatchOf(p Potential) Batch {
+	if b, ok := p.(Batch); ok {
+		return b
+	}
+	return genericBatch{p}
 }
 
 // Analyzable potentials expose the structural features the paper discusses:
@@ -46,6 +80,11 @@ type Tanh struct{}
 
 // Eval implements Potential.
 func (Tanh) Eval(d float64) float64 { return math.Tanh(d) }
+
+// EvalInto implements Batch.
+func (Tanh) EvalInto(dst, dtheta []float64) {
+	mathx.TanhInto(dst, dtheta)
+}
 
 // Name implements Potential.
 func (Tanh) Name() string { return "tanh" }
@@ -93,6 +132,29 @@ func (p Desync) Eval(d float64) float64 {
 	return -1
 }
 
+// EvalInto implements Batch: classify every element up front (dst may
+// alias dtheta, so the original values are consumed in this first pass),
+// writing the sine argument w·Δθ inside the horizon and ∓π/2 — whose
+// sine is exactly ∓1 — for the saturated branches. One batched sine pass
+// and a negation then reproduce Eval bit-for-bit.
+func (p Desync) EvalInto(dst, dtheta []float64) {
+	w := 3 * math.Pi / (2 * p.Sigma)
+	for i, d := range dtheta {
+		switch {
+		case math.Abs(d) < p.Sigma:
+			dst[i] = w * d
+		case d > 0:
+			dst[i] = -math.Pi / 2 // -sin(-π/2) = +1
+		default:
+			dst[i] = math.Pi / 2 // -sin(π/2) = -1
+		}
+	}
+	mathx.SinInto(dst, dst)
+	for i, v := range dst {
+		dst[i] = -v
+	}
+}
+
 // Name implements Potential.
 func (p Desync) Name() string { return fmt.Sprintf("desync(σ=%g)", p.Sigma) }
 
@@ -110,6 +172,13 @@ type KuramotoSine struct{}
 // Eval implements Potential.
 func (KuramotoSine) Eval(d float64) float64 { return math.Sin(d) }
 
+// EvalInto implements Batch via the batched sine kernel: identical
+// results to per-pair math.Sin calls, evaluated as one straight-line
+// loop over the packed buffer.
+func (KuramotoSine) EvalInto(dst, dtheta []float64) {
+	mathx.SinInto(dst, dtheta)
+}
+
 // Name implements Potential.
 func (KuramotoSine) Name() string { return "kuramoto-sine" }
 
@@ -123,6 +192,9 @@ type Linear struct{}
 
 // Eval implements Potential.
 func (Linear) Eval(d float64) float64 { return d }
+
+// EvalInto implements Batch.
+func (Linear) EvalInto(dst, dtheta []float64) { copy(dst, dtheta) }
 
 // Name implements Potential.
 func (Linear) Name() string { return "linear" }
@@ -147,6 +219,25 @@ func (c Clipped) Eval(d float64) float64 {
 		return -c.Limit
 	}
 	return v
+}
+
+// EvalInto implements Batch. The inner potential's batch path is used
+// when available, followed by an in-place clamp pass.
+func (c Clipped) EvalInto(dst, dtheta []float64) {
+	if b, ok := c.Inner.(Batch); ok {
+		b.EvalInto(dst, dtheta)
+		for i, v := range dst {
+			if v > c.Limit {
+				dst[i] = c.Limit
+			} else if v < -c.Limit {
+				dst[i] = -c.Limit
+			}
+		}
+		return
+	}
+	for i, d := range dtheta {
+		dst[i] = c.Eval(d)
+	}
 }
 
 // Name implements Potential.

@@ -82,6 +82,11 @@ type Topology struct {
 	Periodic bool
 	// Label is a short human-readable description.
 	Label string
+
+	// flat holds the packed CSR neighbor arrays, precomputed by the
+	// package constructors so Flat() is read-only (safe for concurrent
+	// model building over one shared Topology).
+	flat FlatNeighbors
 }
 
 // Stencil builds the topology in which rank i communicates with ranks
@@ -126,9 +131,11 @@ func Stencil(n int, offsets []int, periodic bool) (*Topology, error) {
 	}
 	sorted := append([]int(nil), offsets...)
 	sort.Ints(sorted)
+	m := b.Build()
 	return &Topology{
-		N: n, T: b.Build(), Offsets: sorted, Periodic: periodic,
+		N: n, T: m, Offsets: sorted, Periodic: periodic,
 		Label: fmt.Sprintf("stencil%v periodic=%v", sorted, periodic),
+		flat:  buildFlat(m),
 	}, nil
 }
 
@@ -157,7 +164,8 @@ func AllToAll(n int) (*Topology, error) {
 			}
 		}
 	}
-	return &Topology{N: n, T: b.Build(), Label: "all-to-all"}, nil
+	m := b.Build()
+	return &Topology{N: n, T: m, Label: "all-to-all", flat: buildFlat(m)}, nil
 }
 
 // Torus2D returns a 2-D periodic Cartesian topology (nx×ny ranks, 4-point
@@ -179,8 +187,9 @@ func Torus2D(nx, ny int) (*Topology, error) {
 			}
 		}
 	}
-	return &Topology{N: n, T: b.Build(), Periodic: true,
-		Label: fmt.Sprintf("torus %dx%d", nx, ny)}, nil
+	m := b.Build()
+	return &Topology{N: n, T: m, Periodic: true,
+		Label: fmt.Sprintf("torus %dx%d", nx, ny), flat: buildFlat(m)}, nil
 }
 
 // Random returns a symmetric Erdős–Rényi topology where each unordered
@@ -202,7 +211,8 @@ func Random(n int, p float64, rng *stats.RNG) (*Topology, error) {
 			}
 		}
 	}
-	return &Topology{N: n, T: b.Build(), Label: fmt.Sprintf("random(p=%g)", p)}, nil
+	m := b.Build()
+	return &Topology{N: n, T: m, Label: fmt.Sprintf("random(p=%g)", p), flat: buildFlat(m)}, nil
 }
 
 // Kappa returns the κ distance aggregate for the given wait mode. For
@@ -254,6 +264,62 @@ func (tp *Topology) Degree(i int) int { return tp.T.RowNNZ(i) }
 
 // Neighbors returns every rank's partner list.
 func (tp *Topology) Neighbors() [][]int { return tp.T.Neighbors() }
+
+// FlatNeighbors is the flat CSR neighbor representation: rank i's partners
+// are Cols[RowPtr[i]:RowPtr[i+1]]. Compared to [][]int it stores all
+// partner lists in one packed array, so hot loops walk two contiguous
+// int32 slices instead of chasing a pointer per rank — the layout the
+// oscillator model's right-hand side iterates.
+type FlatNeighbors struct {
+	// RowPtr has length N+1; RowPtr[0] == 0 and RowPtr[N] == len(Cols).
+	RowPtr []int32
+	// Cols holds the packed partner indices, row-major, sorted within
+	// each row.
+	Cols []int32
+}
+
+// NNZ returns the total number of directed communication edges.
+func (f FlatNeighbors) NNZ() int { return len(f.Cols) }
+
+// MaxDegree returns the largest partner count of any rank.
+func (f FlatNeighbors) MaxDegree() int {
+	m := 0
+	for i := 0; i+1 < len(f.RowPtr); i++ {
+		if d := int(f.RowPtr[i+1] - f.RowPtr[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Flat returns the packed CSR neighbor representation of the topology.
+// Constructor-built topologies carry it precomputed; for hand-assembled
+// Topology values it is derived on the fly without mutating the receiver,
+// so concurrent use of a shared *Topology stays race-free. Callers must
+// treat the result as read-only.
+func (tp *Topology) Flat() FlatNeighbors {
+	if tp.flat.RowPtr != nil {
+		return tp.flat
+	}
+	return buildFlat(tp.T)
+}
+
+// buildFlat packs a CSR topology matrix into int32 neighbor arrays.
+func buildFlat(t *linalg.CSR) FlatNeighbors {
+	rowPtr := t.RowPtr()
+	colIdx := t.ColIdx()
+	f := FlatNeighbors{
+		RowPtr: make([]int32, len(rowPtr)),
+		Cols:   make([]int32, len(colIdx)),
+	}
+	for i, p := range rowPtr {
+		f.RowPtr[i] = int32(p)
+	}
+	for k, j := range colIdx {
+		f.Cols[k] = int32(j)
+	}
+	return f
+}
 
 // IsSymmetric reports whether the dependency graph is symmetric
 // (every send matched by a reverse dependency).

@@ -65,6 +65,21 @@ func NewTrace(n int) *Trace {
 // N returns the number of ranks.
 func (t *Trace) N() int { return len(t.Spans) }
 
+// Reserve pre-sizes rank r's span and iteration storage so recording in a
+// hot loop (the cluster engine) appends without growing slices.
+func (t *Trace) Reserve(r, nSpans, nIters int) {
+	if cap(t.Spans[r]) < nSpans {
+		s := make([]Span, len(t.Spans[r]), nSpans)
+		copy(s, t.Spans[r])
+		t.Spans[r] = s
+	}
+	if cap(t.IterEnds[r]) < nIters {
+		e := make([]float64, len(t.IterEnds[r]), nIters)
+		copy(e, t.IterEnds[r])
+		t.IterEnds[r] = e
+	}
+}
+
 // Record appends a span to rank r, merging it with the previous span when
 // contiguous and of the same kind. Zero-length spans are dropped.
 func (t *Trace) Record(r int, kind SpanKind, start, end float64) {
