@@ -7,8 +7,10 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/cluster"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/noise"
 	"repro/internal/ode"
 	"repro/internal/potential"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 )
 
@@ -571,5 +574,106 @@ func BenchmarkPOMIntegration(b *testing.B) {
 		if _, err := m.Run(100, 101); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchSweepConfig is the per-point model of the streaming-sweep
+// benchmarks: a small desynchronizing chain, cheap enough that the
+// memory-model difference dominates the signal. It returns rather than
+// b.Fatal-s the error because it runs on sweep worker goroutines, where
+// FailNow's Goexit would kill the worker instead of failing the sweep.
+func benchSweepConfig(sigma float64) (core.Config, error) {
+	tp, err := topology.NextNeighbor(8, false)
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{
+		N: 8, TComp: 0.8, TComm: 0.2,
+		Potential:   potential.NewDesync(sigma),
+		Topology:    tp,
+		Init:        core.RandomPhases,
+		PerturbSeed: 5,
+		PerturbAmp:  0.02,
+	}, nil
+}
+
+// BenchmarkSweepBytesPerPoint contrasts the two sweep memory models on an
+// identical 16-point σ sweep. "materialized" retains each point's
+// *core.Result (trajectory rows) the way a pre-streaming sweep had to;
+// "streamed" runs each point through core.Model.RunStream and keeps only
+// the O(N) Summary. The B/point metric (heap bytes allocated per sweep
+// point) grows linearly with samples in materialized mode and stays flat
+// in streamed mode — the O(1)-in-nSamples evidence the ROADMAP's
+// million-scenario sweeps rest on.
+func BenchmarkSweepBytesPerPoint(b *testing.B) {
+	const nPoints = 16
+	sigmas := make([]float64, nPoints)
+	for i := range sigmas {
+		sigmas[i] = 0.8 + 1.2*float64(i)/float64(nPoints-1)
+	}
+	for _, nSamples := range []int{201, 2001} {
+		b.Run(fmt.Sprintf("materialized/samples%d", nSamples), func(b *testing.B) {
+			b.ReportAllocs()
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			for i := 0; i < b.N; i++ {
+				pts, err := sweep.Run(context.Background(), sigmas, 4,
+					func(_ context.Context, sigma float64) (*core.Result, error) {
+						cfg, err := benchSweepConfig(sigma)
+						if err != nil {
+							return nil, err
+						}
+						m, err := core.New(cfg)
+						if err != nil {
+							return nil, err
+						}
+						return m.Run(60, nSamples)
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Touch the retained trajectories like a post-processing
+				// pass would.
+				for _, pt := range pts {
+					if len(pt.Result.Theta) != nSamples {
+						b.Fatalf("point %d: %d rows", pt.Index, len(pt.Result.Theta))
+					}
+				}
+			}
+			runtime.ReadMemStats(&ms1)
+			b.ReportMetric(float64(ms1.TotalAlloc-ms0.TotalAlloc)/float64(b.N*nPoints), "B/point")
+		})
+		b.Run(fmt.Sprintf("streamed/samples%d", nSamples), func(b *testing.B) {
+			b.ReportAllocs()
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			for i := 0; i < b.N; i++ {
+				sums := make([]*core.Summary, nPoints)
+				err := sweep.RunReduce(context.Background(), nPoints, 4,
+					func(i int) float64 { return sigmas[i] },
+					func(_ context.Context, sigma float64) (*core.Summary, error) {
+						cfg, err := benchSweepConfig(sigma)
+						if err != nil {
+							return nil, err
+						}
+						m, err := core.New(cfg)
+						if err != nil {
+							return nil, err
+						}
+						return m.RunSummary(60, nSamples, 0.1, 0.15)
+					},
+					func(i int, _ float64, s *core.Summary) { sums[i] = s })
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i, s := range sums {
+					if s == nil {
+						b.Fatalf("point %d missing", i)
+					}
+				}
+			}
+			runtime.ReadMemStats(&ms1)
+			b.ReportMetric(float64(ms1.TotalAlloc-ms0.TotalAlloc)/float64(b.N*nPoints), "B/point")
+		})
 	}
 }

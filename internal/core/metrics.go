@@ -34,6 +34,12 @@ func (r *Result) OrderTimeline() []float64 {
 func (r *Result) AdjacentGapTimeline() [][]float64 {
 	out := make([][]float64, len(r.Theta))
 	for k, th := range r.Theta {
+		if len(th) == 0 {
+			// An empty sample row has no adjacent pairs; len(th)-1 would
+			// be a negative make length.
+			out[k] = []float64{}
+			continue
+		}
 		gaps := make([]float64, len(th)-1)
 		for i := 1; i < len(th); i++ {
 			gaps[i-1] = th[i] - th[i-1]
@@ -99,10 +105,16 @@ func (r *Result) AsymptoticGaps(finalFraction float64) []float64 {
 	if start >= n {
 		start = n - 1
 	}
-	gaps := make([]float64, r.Model.cfg.N-1)
+	// Derive the gap width from the sample rows themselves: a Result built
+	// by hand or by a streaming adapter may carry no Model.
+	width := len(r.Theta[0]) - 1
+	if width < 0 {
+		width = 0
+	}
+	gaps := make([]float64, width)
 	for k := start; k < n; k++ {
 		th := r.Theta[k]
-		for i := 1; i < len(th); i++ {
+		for i := 1; i < len(th) && i-1 < len(gaps); i++ {
 			gaps[i-1] += th[i] - th[i-1]
 		}
 	}

@@ -344,6 +344,18 @@ type Result struct {
 // Run integrates the model from t = 0 to tEnd, sampling nSamples points
 // uniformly (including both endpoints).
 func (m *Model) Run(tEnd float64, nSamples int) (*Result, error) {
+	res, err := m.integrate(tEnd, nSamples, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Ts: res.Ts, Theta: res.Ys, Stats: res.Stats, Model: m}, nil
+}
+
+// integrate runs the solver over [0, tEnd] with nSamples uniform samples.
+// A nil sample callback materializes the trajectory in the result; a
+// non-nil callback receives each row as it is produced (from a reused
+// buffer) and the result carries only the work statistics.
+func (m *Model) integrate(tEnd float64, nSamples int, sample func(t float64, y []float64)) (*ode.Result, error) {
 	if tEnd <= 0 {
 		return nil, errors.New("core: tEnd must be positive")
 	}
@@ -372,7 +384,24 @@ func (m *Model) Run(tEnd float64, nSamples int) (*Result, error) {
 	// quiescent phases that a one-off delay window falls between stage
 	// evaluations and is silently skipped.
 	solver.Hmax = 0.25 * m.period
-	samples := mathx.Linspace(0, tEnd, nSamples)
+	// Materialized runs hand the solver the explicit Linspace grid (it
+	// sizes the output arena); streaming runs use the equivalent virtual
+	// plan so the run allocates nothing proportional to nSamples. The two
+	// produce bitwise-identical sample times.
+	var samples []float64
+	sampleAt := func(k int) float64 { return 0 }
+	if sample == nil {
+		samples = mathx.Linspace(0, tEnd, nSamples)
+	} else {
+		step := tEnd / float64(nSamples-1)
+		last := nSamples - 1
+		sampleAt = func(k int) float64 {
+			if k == last {
+				return tEnd // avoid accumulated rounding, like Linspace
+			}
+			return float64(k) * step
+		}
+	}
 	y0 := m.initialState()
 
 	var res *ode.Result
@@ -383,19 +412,25 @@ func (m *Model) Run(tEnd float64, nSamples int) (*Result, error) {
 				m.rhs(t, y, past, dydt)
 			},
 			y0, 0, tEnd,
-			ode.DDEOptions{SampleTs: samples, MaxDelay: m.cfg.InteractionNoise.Max()},
+			ode.DDEOptions{
+				SampleTs: samples, SampleAt: sampleAt, NSamples: nSamples,
+				SampleFunc: sample, MaxDelay: m.cfg.InteractionNoise.Max(),
+			},
 		)
 	} else {
 		res, err = solver.Solve(
 			func(t float64, y, dydt []float64) { m.rhs(t, y, nil, dydt) },
 			y0, 0, tEnd,
-			ode.SolveOptions{SampleTs: samples},
+			ode.SolveOptions{
+				SampleTs: samples, SampleAt: sampleAt, NSamples: nSamples,
+				SampleFunc: sample,
+			},
 		)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: integration failed: %w", err)
 	}
-	return &Result{Ts: res.Ts, Theta: res.Ys, Stats: res.Stats, Model: m}, nil
+	return res, nil
 }
 
 // NormalizedPhases returns the paper's standard view (§3.2): θ_i(t) − ω·t,

@@ -1,0 +1,462 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/ode"
+	"repro/internal/stats"
+)
+
+// Sink consumes the sample rows of a streaming integration in time order.
+// RunStream drives a sink instead of materializing Result.Theta, so a
+// sweep over many parameter points holds O(N) accumulator state per point
+// rather than a full trajectory — the memory model that makes
+// million-scenario batch sweeps feasible (see PERFORMANCE.md).
+type Sink interface {
+	// Begin is called once before the first sample with the state width n
+	// and the total number of rows the run will emit.
+	Begin(n, nSamples int)
+	// Sample consumes one row: the oscillator phases at time t. theta is
+	// reused between calls and must not be retained.
+	Sample(t float64, theta []float64)
+}
+
+// SinkFunc adapts a plain callback (e.g. a row writer) to the Sink
+// interface with a no-op Begin.
+type SinkFunc func(t float64, theta []float64)
+
+// Begin implements Sink.
+func (SinkFunc) Begin(int, int) {}
+
+// Sample implements Sink.
+func (f SinkFunc) Sample(t float64, theta []float64) { f(t, theta) }
+
+// multiSink fans one sample stream out to several sinks.
+type multiSink []Sink
+
+// Begin implements Sink.
+func (ms multiSink) Begin(n, nSamples int) {
+	for _, s := range ms {
+		s.Begin(n, nSamples)
+	}
+}
+
+// Sample implements Sink.
+func (ms multiSink) Sample(t float64, theta []float64) {
+	for _, s := range ms {
+		s.Sample(t, theta)
+	}
+}
+
+// Tee combines several sinks into one that replays every row to each, in
+// order — the standard way to run multiple accumulators over one pass.
+func Tee(sinks ...Sink) Sink { return multiSink(sinks) }
+
+// RunStream integrates the model from t = 0 to tEnd like Run, but emits
+// the nSamples uniform sample rows to sink as they are produced instead of
+// materializing them: the run's memory is independent of nSamples. The
+// rows streamed to the sink are bit-for-bit the rows Run would store.
+func (m *Model) RunStream(tEnd float64, nSamples int, sink Sink) (ode.Stats, error) {
+	if sink == nil {
+		return ode.Stats{}, errors.New("core: nil sink")
+	}
+	if tEnd <= 0 {
+		return ode.Stats{}, errors.New("core: tEnd must be positive")
+	}
+	if nSamples < 2 {
+		nSamples = 2
+	}
+	sink.Begin(m.cfg.N, nSamples)
+	res, err := m.integrate(tEnd, nSamples, sink.Sample)
+	if err != nil {
+		return ode.Stats{}, err
+	}
+	return res.Stats, nil
+}
+
+// finalWindow replicates the asymptotic-window start index used by
+// Result.AsymptoticSpread and Result.AsymptoticGaps: the last
+// finalFraction of n samples, clamped to at least the final sample.
+func finalWindow(n int, finalFraction float64) int {
+	start := n - int(float64(n)*finalFraction)
+	if start < 0 {
+		start = 0
+	}
+	if start >= n {
+		start = n - 1
+	}
+	return start
+}
+
+// SpreadAccumulator computes the phase-spread metrics of a run online:
+// per-sample it evaluates the same stats.PhaseSpread as
+// Result.SpreadTimeline, and its Asymptotic value reproduces
+// Result.AsymptoticSpread bit-for-bit (same additions in the same order).
+type SpreadAccumulator struct {
+	// FinalFraction sets the asymptotic averaging window; 0 means 0.15
+	// (the window the report paths use).
+	FinalFraction float64
+	// KeepTimeline retains the full per-sample spread series in Timeline —
+	// O(nSamples) memory, for plots and the bitwise pinning tests. Leave
+	// false in sweeps.
+	KeepTimeline bool
+	// Timeline is the retained series when KeepTimeline is set.
+	Timeline []float64
+
+	start, k   int
+	sum        float64
+	final, max float64
+}
+
+// Begin implements Sink.
+func (a *SpreadAccumulator) Begin(_, nSamples int) {
+	ff := a.FinalFraction
+	if ff == 0 {
+		ff = 0.15
+	}
+	a.start = finalWindow(nSamples, ff)
+	a.k, a.sum, a.final, a.max = 0, 0, 0, 0
+	a.Timeline = a.Timeline[:0]
+}
+
+// Sample implements Sink.
+func (a *SpreadAccumulator) Sample(_ float64, theta []float64) {
+	s := stats.PhaseSpread(theta)
+	if a.KeepTimeline {
+		a.Timeline = append(a.Timeline, s)
+	}
+	if s > a.max {
+		a.max = s
+	}
+	a.final = s
+	if a.k >= a.start {
+		a.sum += s
+	}
+	a.k++
+}
+
+// Final returns the spread at the last sample.
+func (a *SpreadAccumulator) Final() float64 { return a.final }
+
+// Max returns the largest spread seen.
+func (a *SpreadAccumulator) Max() float64 { return a.max }
+
+// Asymptotic returns the mean spread over the final window — equal to
+// Result.AsymptoticSpread(FinalFraction) on the same run.
+func (a *SpreadAccumulator) Asymptotic() float64 {
+	if a.k <= a.start {
+		return 0
+	}
+	return a.sum / float64(a.k-a.start)
+}
+
+// OrderAccumulator computes the Kuramoto order parameter r(t) online —
+// per-sample identical to Result.OrderTimeline.
+type OrderAccumulator struct {
+	// KeepTimeline retains the full r(t) series (see SpreadAccumulator).
+	KeepTimeline bool
+	// Timeline is the retained series when KeepTimeline is set.
+	Timeline []float64
+
+	final, min float64
+	seen       bool
+}
+
+// Begin implements Sink.
+func (a *OrderAccumulator) Begin(int, int) {
+	a.final, a.min, a.seen = 0, math.Inf(1), false
+	a.Timeline = a.Timeline[:0]
+}
+
+// Sample implements Sink.
+func (a *OrderAccumulator) Sample(_ float64, theta []float64) {
+	r, _ := stats.OrderParameter(theta)
+	if a.KeepTimeline {
+		a.Timeline = append(a.Timeline, r)
+	}
+	if r < a.min {
+		a.min = r
+	}
+	a.final = r
+	a.seen = true
+}
+
+// Final returns r at the last sample.
+func (a *OrderAccumulator) Final() float64 { return a.final }
+
+// Min returns the lowest r seen (0 when no samples arrived).
+func (a *OrderAccumulator) Min() float64 {
+	if !a.seen {
+		return 0
+	}
+	return a.min
+}
+
+// ResyncDetector finds the resynchronization time online: the first sample
+// time at which the phase spread drops below Eps and stays below it for
+// the rest of the run — exactly Result.ResyncTime(Eps), computed forward
+// by tracking the start of the current below-Eps run.
+type ResyncDetector struct {
+	// Eps is the spread threshold (the report paths use 0.1).
+	Eps float64
+
+	at   float64
+	have bool
+}
+
+// Begin implements Sink.
+func (d *ResyncDetector) Begin(int, int) { d.have = false }
+
+// Sample implements Sink.
+func (d *ResyncDetector) Sample(t float64, theta []float64) {
+	if stats.PhaseSpread(theta) >= d.Eps {
+		d.have = false
+	} else if !d.have {
+		d.have, d.at = true, t
+	}
+}
+
+// ResyncTime returns the detected resynchronization time, or an error when
+// the system never resynchronized (mirroring Result.ResyncTime).
+func (d *ResyncDetector) ResyncTime() (float64, error) {
+	if !d.have {
+		return 0, errors.New("core: system did not resynchronize")
+	}
+	return d.at, nil
+}
+
+// GapAccumulator time-averages the adjacent phase gaps θ_{i+1} − θ_i over
+// the final window — bit-for-bit Result.AsymptoticGaps(FinalFraction).
+type GapAccumulator struct {
+	// FinalFraction sets the averaging window; 0 means 0.15.
+	FinalFraction float64
+
+	start, k, count int
+	sums            []float64
+}
+
+// Begin implements Sink.
+func (a *GapAccumulator) Begin(n, nSamples int) {
+	ff := a.FinalFraction
+	if ff == 0 {
+		ff = 0.15
+	}
+	a.start = finalWindow(nSamples, ff)
+	a.k, a.count = 0, 0
+	w := n - 1
+	if w < 0 {
+		w = 0
+	}
+	if cap(a.sums) < w {
+		a.sums = make([]float64, w)
+	}
+	a.sums = a.sums[:w]
+	for i := range a.sums {
+		a.sums[i] = 0
+	}
+}
+
+// Sample implements Sink.
+func (a *GapAccumulator) Sample(_ float64, theta []float64) {
+	if a.k >= a.start {
+		for i := 1; i < len(theta) && i-1 < len(a.sums); i++ {
+			a.sums[i-1] += theta[i] - theta[i-1]
+		}
+		a.count++
+	}
+	a.k++
+}
+
+// Gaps returns the time-averaged adjacent gaps over the final window.
+func (a *GapAccumulator) Gaps() []float64 {
+	out := make([]float64, len(a.sums))
+	if a.count == 0 {
+		return out
+	}
+	for i, s := range a.sums {
+		out[i] = s / float64(a.count)
+	}
+	return out
+}
+
+// MeanAbsGap returns the mean |gap| of the averaged gaps, the settled
+// wavefront summary the report paths print.
+func (a *GapAccumulator) MeanAbsGap() float64 {
+	gaps := a.Gaps()
+	if len(gaps) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += math.Abs(g)
+	}
+	return sum / float64(len(gaps))
+}
+
+// WaveDetector measures the idle-wave front launched by a one-off delay
+// online — the streaming counterpart of Result.MeasureWave, producing the
+// identical WaveFront: the pre-delay baseline lag is tracked sample by
+// sample, arrivals are detected forward, and the speed fit runs once in
+// Finish.
+type WaveDetector struct {
+	origin        int
+	delayStart    float64
+	threshold     float64
+	omega, period float64
+	periodic      bool
+
+	n       int
+	k       int
+	frozen  bool
+	base    []float64
+	arrival []float64
+}
+
+// NewWaveDetector builds a wave detector for the model's topology and
+// frequency. threshold 0 selects 0.15 rad, as in MeasureWave.
+func NewWaveDetector(m *Model, origin int, delayStart, threshold float64) (*WaveDetector, error) {
+	if origin < 0 || origin >= m.cfg.N {
+		return nil, errors.New("core: wave origin out of range")
+	}
+	if threshold <= 0 {
+		threshold = 0.15
+	}
+	return &WaveDetector{
+		origin:     origin,
+		delayStart: delayStart,
+		threshold:  threshold,
+		omega:      m.omega,
+		period:     m.period,
+		periodic:   m.cfg.Topology.Periodic,
+	}, nil
+}
+
+// Begin implements Sink.
+func (w *WaveDetector) Begin(n, _ int) {
+	w.n = n
+	w.k = 0
+	w.frozen = false
+	if cap(w.base) < n {
+		w.base = make([]float64, n)
+		w.arrival = make([]float64, n)
+	}
+	w.base = w.base[:n]
+	w.arrival = w.arrival[:n]
+	for i := range w.arrival {
+		w.arrival[i] = math.NaN()
+	}
+}
+
+// Sample implements Sink.
+func (w *WaveDetector) Sample(t float64, theta []float64) {
+	k := w.k
+	w.k++
+	if !w.frozen {
+		if k == 0 || t < w.delayStart {
+			// This sample is (so far) the last one before the delay hits:
+			// it defines the baseline lag, like MeasureWave's k0 row.
+			for i := 0; i < w.n; i++ {
+				w.base[i] = w.omega*t - theta[i]
+			}
+			if k == 0 && t >= w.delayStart {
+				w.frozen = true // arrivals scan starts at the next sample
+			}
+			return
+		}
+		w.frozen = true
+	}
+	for i := 0; i < w.n; i++ {
+		if !math.IsNaN(w.arrival[i]) {
+			continue
+		}
+		if w.omega*t-theta[i]-w.base[i] > w.threshold {
+			w.arrival[i] = t
+		}
+	}
+}
+
+// Finish fits the front speed from the accumulated arrivals and returns
+// the WaveFront MeasureWave would compute on the materialized run.
+func (w *WaveDetector) Finish() (WaveFront, error) {
+	wf := WaveFront{Origin: w.origin, ArrivalTime: append([]float64(nil), w.arrival...)}
+	var xs, ys []float64 // x: arrival time, y: distance from origin
+	for i := 0; i < w.n; i++ {
+		if math.IsNaN(w.arrival[i]) || i == w.origin {
+			continue
+		}
+		d := i - w.origin
+		if d < 0 {
+			d = -d
+		}
+		// On a ring the wave can travel both ways; use the shorter arc.
+		if w.periodic && w.n-d < d {
+			d = w.n - d
+		}
+		xs = append(xs, w.arrival[i])
+		ys = append(ys, float64(d))
+		wf.Reached++
+	}
+	if len(xs) < 3 {
+		return wf, errors.New("core: wave reached too few ranks to fit a speed")
+	}
+	fit, err := stats.FitLine(xs, ys)
+	if err != nil {
+		return wf, err
+	}
+	wf.Speed = math.Abs(fit.Slope)
+	wf.SpeedRanksPerPeriod = wf.Speed * w.period
+	wf.R2 = fit.R2
+	return wf, nil
+}
+
+// Summary is the O(N) reduction of one streamed run: everything the batch
+// report paths need, without a single retained trajectory row.
+type Summary struct {
+	// FinalSpread, MaxSpread, and AsymptoticSpread are the phase-spread
+	// metrics (AsymptoticSpread over the final-fraction window).
+	FinalSpread, MaxSpread, AsymptoticSpread float64
+	// FinalOrder and MinOrder are the Kuramoto order-parameter metrics.
+	FinalOrder, MinOrder float64
+	// Resynced reports whether the spread settled below the resync
+	// threshold; ResyncTime is the settling time when it did.
+	Resynced   bool
+	ResyncTime float64
+	// Gaps are the time-averaged adjacent gaps over the final window and
+	// MeanAbsGap their mean magnitude.
+	Gaps       []float64
+	MeanAbsGap float64
+	// Stats reports the solver work.
+	Stats ode.Stats
+}
+
+// RunSummary streams a run through the standard accumulator set and
+// returns the O(N) summary. resyncEps 0 selects 0.1 and finalFraction 0
+// selects 0.15 — the thresholds the materialized report paths use.
+func (m *Model) RunSummary(tEnd float64, nSamples int, resyncEps, finalFraction float64) (*Summary, error) {
+	if resyncEps == 0 {
+		resyncEps = 0.1
+	}
+	spread := &SpreadAccumulator{FinalFraction: finalFraction}
+	order := &OrderAccumulator{}
+	resync := &ResyncDetector{Eps: resyncEps}
+	gaps := &GapAccumulator{FinalFraction: finalFraction}
+	st, err := m.RunStream(tEnd, nSamples, Tee(spread, order, resync, gaps))
+	if err != nil {
+		return nil, err
+	}
+	sum := &Summary{
+		FinalSpread:      spread.Final(),
+		MaxSpread:        spread.Max(),
+		AsymptoticSpread: spread.Asymptotic(),
+		FinalOrder:       order.Final(),
+		MinOrder:         order.Min(),
+		Gaps:             gaps.Gaps(),
+		MeanAbsGap:       gaps.MeanAbsGap(),
+		Stats:            st,
+	}
+	if rt, err := resync.ResyncTime(); err == nil {
+		sum.Resynced, sum.ResyncTime = true, rt
+	}
+	return sum, nil
+}

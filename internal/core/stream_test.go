@@ -1,0 +1,274 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/noise"
+	"repro/internal/potential"
+	"repro/internal/topology"
+)
+
+// streamCase builds one model configuration per (dde, workers) combination
+// so the streamed and materialized runs integrate fresh, identical models.
+func streamCase(t *testing.T, dde bool, workers int) Config {
+	t.Helper()
+	tp, err := topology.NextNeighbor(16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		N:           16,
+		TComp:       0.8,
+		TComm:       0.2,
+		Potential:   potential.NewDesync(1.5),
+		Topology:    tp,
+		Init:        RandomPhases,
+		PerturbSeed: 5,
+		PerturbAmp:  0.02,
+		LocalNoise:  noise.Delay{Rank: 3, Start: 10, Duration: 1, Extra: 50},
+		Workers:     workers,
+	}
+	if dde {
+		cfg.InteractionNoise = noise.ConstantLag{Lag: 0.05}
+	}
+	return cfg
+}
+
+// TestRunStreamMatchesRun pins the streaming contract end to end: for both
+// the ODE and the DDE (interaction-noise) solver paths, serial and with a
+// worker pool, every accumulator output is bitwise identical to the metric
+// computed from the materialized Result.
+func TestRunStreamMatchesRun(t *testing.T) {
+	const (
+		tEnd     = 120.0
+		nSamples = 241
+		eps      = 0.1
+		ff       = 0.15
+	)
+	for _, tc := range []struct {
+		name    string
+		dde     bool
+		workers int
+	}{
+		{"ode/workers1", false, 1},
+		{"ode/workers4", false, 4},
+		{"dde/workers1", true, 1},
+		{"dde/workers4", true, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := streamCase(t, tc.dde, tc.workers)
+			mMat, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := mMat.Run(tEnd, nSamples)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			mStr, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spread := &SpreadAccumulator{FinalFraction: ff, KeepTimeline: true}
+			order := &OrderAccumulator{KeepTimeline: true}
+			resync := &ResyncDetector{Eps: eps}
+			gaps := &GapAccumulator{FinalFraction: ff}
+			stats, err := mStr.RunStream(tEnd, nSamples, Tee(spread, order, resync, gaps))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats != res.Stats {
+				t.Errorf("solver stats diverged: streamed %v, materialized %v", stats, res.Stats)
+			}
+
+			wantSpread := res.SpreadTimeline()
+			if len(spread.Timeline) != len(wantSpread) {
+				t.Fatalf("spread timeline length %d, want %d", len(spread.Timeline), len(wantSpread))
+			}
+			for k := range wantSpread {
+				if spread.Timeline[k] != wantSpread[k] {
+					t.Fatalf("spread[%d]: streamed %v, materialized %v (not bitwise equal)",
+						k, spread.Timeline[k], wantSpread[k])
+				}
+			}
+			wantOrder := res.OrderTimeline()
+			for k := range wantOrder {
+				if order.Timeline[k] != wantOrder[k] {
+					t.Fatalf("order[%d]: streamed %v, materialized %v", k, order.Timeline[k], wantOrder[k])
+				}
+			}
+			if got, want := spread.Asymptotic(), res.AsymptoticSpread(ff); got != want {
+				t.Errorf("asymptotic spread: streamed %v, materialized %v", got, want)
+			}
+
+			wantRt, wantErr := res.ResyncTime(eps)
+			gotRt, gotErr := resync.ResyncTime()
+			if (gotErr == nil) != (wantErr == nil) || gotRt != wantRt {
+				t.Errorf("resync: streamed (%v, %v), materialized (%v, %v)", gotRt, gotErr, wantRt, wantErr)
+			}
+
+			wantGaps := res.AsymptoticGaps(ff)
+			gotGaps := gaps.Gaps()
+			if len(gotGaps) != len(wantGaps) {
+				t.Fatalf("gap width %d, want %d", len(gotGaps), len(wantGaps))
+			}
+			for i := range wantGaps {
+				if gotGaps[i] != wantGaps[i] {
+					t.Fatalf("gap[%d]: streamed %v, materialized %v", i, gotGaps[i], wantGaps[i])
+				}
+			}
+		})
+	}
+}
+
+// TestWaveDetectorMatchesMeasureWave pins the streaming wave-front metric
+// against the materialized MeasureWave on the Fig. 2 delay scenario.
+func TestWaveDetectorMatchesMeasureWave(t *testing.T) {
+	tp, err := topology.NextNeighbor(40, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		N: 40, TComp: 0.8, TComm: 0.2,
+		Potential:  potential.Tanh{},
+		Topology:   tp,
+		LocalNoise: noise.Delay{Rank: 5, Start: 20, Duration: 2.5, Extra: 100},
+	}
+	const tEnd, nSamples = 200.0, 2001
+
+	mMat, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mMat.Run(tEnd, nSamples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantErr := res.MeasureWave(5, 20, 0.15)
+
+	mStr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewWaveDetector(mStr, 5, 20, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mStr.RunStream(tEnd, nSamples, det); err != nil {
+		t.Fatal(err)
+	}
+	got, gotErr := det.Finish()
+
+	if (gotErr == nil) != (wantErr == nil) {
+		t.Fatalf("errors diverged: streamed %v, materialized %v", gotErr, wantErr)
+	}
+	if got.Origin != want.Origin || got.Reached != want.Reached {
+		t.Errorf("front shape: streamed %+v, materialized %+v", got, want)
+	}
+	if got.Speed != want.Speed || got.SpeedRanksPerPeriod != want.SpeedRanksPerPeriod || got.R2 != want.R2 {
+		t.Errorf("fit: streamed (%v, %v, %v), materialized (%v, %v, %v)",
+			got.Speed, got.SpeedRanksPerPeriod, got.R2, want.Speed, want.SpeedRanksPerPeriod, want.R2)
+	}
+	for i := range want.ArrivalTime {
+		g, w := got.ArrivalTime[i], want.ArrivalTime[i]
+		if g != w && !(math.IsNaN(g) && math.IsNaN(w)) {
+			t.Fatalf("arrival[%d]: streamed %v, materialized %v", i, g, w)
+		}
+	}
+	if want.Reached < 10 {
+		t.Fatalf("wave reached only %d ranks; scenario too weak to pin the metric", want.Reached)
+	}
+}
+
+// TestRunSummaryResync checks the convenience reduction on a
+// resynchronizing scenario against the materialized report values.
+func TestRunSummaryResync(t *testing.T) {
+	cfg := baseConfig(t, 16)
+	cfg.LocalNoise = noise.Delay{Rank: 3, Start: 10, Duration: 1, Extra: 20}
+
+	mMat, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mMat.Run(150, 301)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mStr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := mStr.RunSummary(150, 301, 0.1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := res.ResyncTime(0.1)
+	if err != nil {
+		t.Fatalf("scenario must resynchronize: %v", err)
+	}
+	if !sum.Resynced || sum.ResyncTime != rt {
+		t.Errorf("summary resync (%v, %v), materialized %v", sum.Resynced, sum.ResyncTime, rt)
+	}
+	if got, want := sum.AsymptoticSpread, res.AsymptoticSpread(0.15); got != want {
+		t.Errorf("summary asymptotic spread %v, want %v", got, want)
+	}
+	if sum.Stats != res.Stats {
+		t.Errorf("summary stats %v, want %v", sum.Stats, res.Stats)
+	}
+}
+
+// TestRunStreamValidation covers the error paths.
+func TestRunStreamValidation(t *testing.T) {
+	m, err := New(baseConfig(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunStream(10, 11, nil); err == nil {
+		t.Error("want error for nil sink")
+	}
+	if _, err := m.RunStream(-1, 11, Tee()); err == nil {
+		t.Error("want error for non-positive tEnd")
+	}
+}
+
+// TestAdjacentGapTimelineEmptyRow is the regression test for the
+// make-with-negative-length panic: an empty sample row must produce an
+// empty gap row, not a crash.
+func TestAdjacentGapTimelineEmptyRow(t *testing.T) {
+	r := &Result{
+		Ts:    []float64{0, 1, 2},
+		Theta: [][]float64{{1, 2, 4}, {}, {2, 3, 5}},
+	}
+	gaps := r.AdjacentGapTimeline()
+	if len(gaps) != 3 {
+		t.Fatalf("got %d rows, want 3", len(gaps))
+	}
+	if len(gaps[1]) != 0 {
+		t.Errorf("empty sample row must yield an empty gap row, got %v", gaps[1])
+	}
+	if gaps[0][0] != 1 || gaps[0][1] != 2 || gaps[2][1] != 2 {
+		t.Errorf("gap values wrong: %v", gaps)
+	}
+}
+
+// TestAsymptoticGapsNilModel is the regression test for the nil-Model
+// dereference: a hand-built Result (no Model attached) must derive the
+// gap width from its sample rows.
+func TestAsymptoticGapsNilModel(t *testing.T) {
+	r := &Result{
+		Ts:    []float64{0, 1},
+		Theta: [][]float64{{0, 1, 3}, {0, 2, 6}},
+	}
+	gaps := r.AsymptoticGaps(1)
+	if len(gaps) != 2 {
+		t.Fatalf("got %d gaps, want 2", len(gaps))
+	}
+	if gaps[0] != 1.5 || gaps[1] != 3 {
+		t.Errorf("gaps = %v, want [1.5 3]", gaps)
+	}
+	if out := (&Result{}).AsymptoticGaps(0.5); out != nil {
+		t.Errorf("empty result must yield nil gaps, got %v", out)
+	}
+}

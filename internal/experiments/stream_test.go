@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestDesyncSweepStreamMatchesMaterialized checks the streaming sweep's
+// per-point summaries against the same points computed the materialized
+// way (Run + AsymptoticGaps), bitwise — the sweep-level counterpart of the
+// core streaming determinism test.
+func TestDesyncSweepStreamMatchesMaterialized(t *testing.T) {
+	sigmas := []float64{1.0, 1.6}
+	res, err := DesyncSweepStream(10, sigmas, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(sigmas) {
+		t.Fatalf("got %d points, want %d", len(res.Points), len(sigmas))
+	}
+	for i, sigma := range sigmas {
+		cfg, err := streamPointConfig(10, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mat, err := m.Run(300, 301)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gaps := mat.AsymptoticGaps(0.1)
+		var want float64
+		for _, g := range gaps {
+			want += math.Abs(g)
+		}
+		want /= float64(len(gaps))
+		pt := res.Points[i]
+		if pt.Sigma != sigma {
+			t.Errorf("point %d: sigma %v, want %v", i, pt.Sigma, sigma)
+		}
+		if pt.MeanAbsGap != want {
+			t.Errorf("σ=%v: streamed mean gap %v, materialized %v (not bitwise equal)",
+				sigma, pt.MeanAbsGap, want)
+		}
+		if got, wantSpread := pt.AsymptoticSpread, mat.AsymptoticSpread(0.1); got != wantSpread {
+			t.Errorf("σ=%v: streamed spread %v, materialized %v", sigma, got, wantSpread)
+		}
+		// The settled gaps must still track the stable zero 2σ/3.
+		if math.Abs(pt.MeanAbsGap-pt.StableZero) > 0.15*pt.StableZero {
+			t.Errorf("σ=%v: gap %v strays from stable zero %v", sigma, pt.MeanAbsGap, pt.StableZero)
+		}
+	}
+}

@@ -97,6 +97,14 @@ func (h *History) Compact(tmin float64) {
 type DDEOptions struct {
 	// SampleTs requests output at these increasing times.
 	SampleTs []float64
+	// SampleAt and NSamples define a virtual sample plan; see
+	// SolveOptions.SampleAt.
+	SampleAt func(k int) float64
+	// NSamples is the number of samples SampleAt produces.
+	NSamples int
+	// SampleFunc streams output rows instead of materializing them; see
+	// SolveOptions.SampleFunc.
+	SampleFunc func(t float64, y []float64)
 	// Prehistory defines y(t) for t <= t0; nil holds y0 constant.
 	Prehistory func(j int, t float64) float64
 	// MaxDelay, when positive, lets the history discard segments older
@@ -125,8 +133,11 @@ func (s *DOPRI5) SolveDDE(f DelayFunc, y0 []float64, t0, t1 float64, opt DDEOpti
 	hist.Pool = pool
 	wrapped := func(t float64, y, dydt []float64) { f(t, y, hist, dydt) }
 	res, err := s.Solve(wrapped, y0, t0, t1, SolveOptions{
-		SampleTs: opt.SampleTs,
-		Pool:     pool,
+		SampleTs:   opt.SampleTs,
+		SampleAt:   opt.SampleAt,
+		NSamples:   opt.NSamples,
+		SampleFunc: opt.SampleFunc,
+		Pool:       pool,
 		OnStep: func(seg *DenseSegment) {
 			hist.Push(seg)
 			if opt.MaxDelay > 0 {

@@ -167,6 +167,19 @@ type SolveOptions struct {
 	// SampleTs requests output at these times (must be increasing and lie
 	// in [t0, t1]); when nil, every accepted step is recorded.
 	SampleTs []float64
+	// SampleAt, together with NSamples > 0, requests output at the
+	// increasing times SampleAt(0) … SampleAt(NSamples−1) without
+	// materializing the time grid — the O(1)-memory sample plan streaming
+	// consumers pair with SampleFunc. Ignored when SampleTs is set.
+	SampleAt func(k int) float64
+	// NSamples is the number of samples SampleAt produces.
+	NSamples int
+	// SampleFunc, when non-nil, streams every output row to the callback
+	// instead of materializing it in Result.Ts/Ys: the result carries only
+	// the work statistics and the run's memory is independent of the
+	// sample count. The y slice is solver-owned and reused between calls;
+	// implementations must not retain it.
+	SampleFunc func(t float64, y []float64)
 	// KeepDense retains all dense segments in the returned result.
 	KeepDense bool
 	// OnStep, when non-nil, is invoked after every accepted step with the
@@ -211,18 +224,35 @@ func (s *DOPRI5) Solve(f Func, y0 []float64, t0, t1 float64, opt SolveOptions) (
 	y, ynew := s.y, s.ynew
 	t := t0
 
+	// The sample plan is either an explicit grid (SampleTs) or a virtual
+	// one (SampleAt), evaluated lazily so streaming runs hold no grid.
+	hasPlan := opt.SampleTs != nil
+	nSamp := len(opt.SampleTs)
+	sampleAt := func(k int) float64 { return opt.SampleTs[k] }
+	if !hasPlan && opt.SampleAt != nil && opt.NSamples > 0 {
+		hasPlan = true
+		nSamp = opt.NSamples
+		sampleAt = opt.SampleAt
+	}
+
 	// With a known sample plan the output rows are carved out of one
-	// arena allocation instead of one allocation per sample.
+	// arena allocation instead of one allocation per sample. A streaming
+	// consumer (SampleFunc) bypasses materialization entirely: rows are
+	// handed over straight from the solver buffers and never stored.
 	var arena []float64
 	arenaNext := 0
-	if opt.SampleTs != nil {
-		rows := len(opt.SampleTs) + 1
+	if hasPlan && opt.SampleFunc == nil {
+		rows := nSamp + 1
 		arena = make([]float64, rows*n)
 		res.Ts = make([]float64, 0, rows)
 		res.Ys = make([][]float64, 0, rows)
 	}
 	sampleIdx := 0
 	record := func(tt float64, v []float64) {
+		if opt.SampleFunc != nil {
+			opt.SampleFunc(tt, v)
+			return
+		}
 		res.Ts = append(res.Ts, tt)
 		var row []float64
 		if arena != nil {
@@ -236,7 +266,7 @@ func (s *DOPRI5) Solve(f Func, y0 []float64, t0, t1 float64, opt SolveOptions) (
 	}
 	record(t0, y)
 	// Skip any requested samples that coincide with t0.
-	for sampleIdx < len(opt.SampleTs) && opt.SampleTs[sampleIdx] <= t0 {
+	for sampleIdx < nSamp && sampleAt(sampleIdx) <= t0 {
 		sampleIdx++
 	}
 
@@ -258,7 +288,7 @@ func (s *DOPRI5) Solve(f Func, y0 []float64, t0, t1 float64, opt SolveOptions) (
 	// solver-local scratch segment is reused, and no segment is built at
 	// all when nothing consumes dense output.
 	retain := opt.KeepDense || opt.OnStep != nil
-	needDense := retain || opt.SampleTs != nil
+	needDense := retain || hasPlan
 
 	errOld := 1e-4
 	maxSteps := s.MaxSteps
@@ -301,11 +331,14 @@ func (s *DOPRI5) Solve(f Func, y0 []float64, t0, t1 float64, opt SolveOptions) (
 				}
 			}
 			tNew := t + h
-			if opt.SampleTs == nil {
+			if !hasPlan {
 				record(tNew, ynew)
 			} else {
-				for sampleIdx < len(opt.SampleTs) && opt.SampleTs[sampleIdx] <= tNew+1e-14 {
-					ts := opt.SampleTs[sampleIdx]
+				for sampleIdx < nSamp {
+					ts := sampleAt(sampleIdx)
+					if ts > tNew+1e-14 {
+						break
+					}
 					record(ts, seg.Eval(ts, s.ysmp))
 					sampleIdx++
 				}

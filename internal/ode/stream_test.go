@@ -1,0 +1,154 @@
+package ode
+
+import (
+	"math"
+	"testing"
+)
+
+// streamCollector records every streamed row so tests can compare the
+// callback path against the materialized one.
+type streamCollector struct {
+	ts []float64
+	ys [][]float64
+}
+
+func (c *streamCollector) sample(t float64, y []float64) {
+	c.ts = append(c.ts, t)
+	c.ys = append(c.ys, append([]float64(nil), y...))
+}
+
+// TestSolveSampleFuncMatchesMaterialized pins the streaming contract: the
+// rows handed to SampleFunc are bitwise identical to the rows a
+// materializing Solve stores, and the streamed result retains nothing.
+func TestSolveSampleFuncMatchesMaterialized(t *testing.T) {
+	// Mildly coupled nonlinear system: enough structure that any
+	// divergence between the two record paths would show.
+	f := func(_ float64, y, dydt []float64) {
+		dydt[0] = y[1]
+		dydt[1] = -y[0] - 0.1*y[1]
+		dydt[2] = math.Sin(y[0]) - 0.2*y[2]
+	}
+	y0 := []float64{1, 0, 0.5}
+	samples := make([]float64, 101)
+	for i := range samples {
+		samples[i] = 10 * float64(i) / 100
+	}
+
+	mat, err := NewDOPRI5(1e-8, 1e-6).Solve(f, y0, 0, 10, SolveOptions{SampleTs: samples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var col streamCollector
+	str, err := NewDOPRI5(1e-8, 1e-6).Solve(f, y0, 0, 10, SolveOptions{
+		SampleTs:   samples,
+		SampleFunc: col.sample,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The virtual sample plan (SampleAt) must visit the same times.
+	var colAt streamCollector
+	if _, err := NewDOPRI5(1e-8, 1e-6).Solve(f, y0, 0, 10, SolveOptions{
+		SampleAt:   func(k int) float64 { return samples[k] },
+		NSamples:   len(samples),
+		SampleFunc: colAt.sample,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(str.Ts) != 0 || len(str.Ys) != 0 {
+		t.Errorf("streaming run materialized %d rows", len(str.Ys))
+	}
+	if str.Stats != mat.Stats {
+		t.Errorf("stats diverged: streamed %v, materialized %v", str.Stats, mat.Stats)
+	}
+	if len(col.ts) != len(mat.Ts) {
+		t.Fatalf("streamed %d rows, materialized %d", len(col.ts), len(mat.Ts))
+	}
+	for k := range mat.Ts {
+		if col.ts[k] != mat.Ts[k] {
+			t.Fatalf("row %d: streamed t=%v, materialized t=%v", k, col.ts[k], mat.Ts[k])
+		}
+		for i := range mat.Ys[k] {
+			if col.ys[k][i] != mat.Ys[k][i] {
+				t.Fatalf("row %d comp %d: streamed %v, materialized %v",
+					k, i, col.ys[k][i], mat.Ys[k][i])
+			}
+		}
+		if colAt.ts[k] != mat.Ts[k] || colAt.ys[k][0] != mat.Ys[k][0] {
+			t.Fatalf("row %d: virtual sample plan diverged", k)
+		}
+	}
+}
+
+// TestSolveDDESampleFuncMatchesMaterialized is the delay-path counterpart.
+func TestSolveDDESampleFuncMatchesMaterialized(t *testing.T) {
+	const tau = 0.3
+	f := func(t float64, y []float64, past Past, dydt []float64) {
+		dydt[0] = -past.Eval(0, t-tau)
+		dydt[1] = y[0] - 0.5*past.Eval(1, t-tau)
+	}
+	y0 := []float64{1, 0.2}
+	samples := make([]float64, 81)
+	for i := range samples {
+		samples[i] = 8 * float64(i) / 80
+	}
+	opts := DDEOptions{SampleTs: samples, MaxDelay: tau}
+
+	mat, err := NewDOPRI5(1e-8, 1e-6).SolveDDE(f, y0, 0, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var col streamCollector
+	opts.SampleFunc = col.sample
+	str, err := NewDOPRI5(1e-8, 1e-6).SolveDDE(f, y0, 0, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(str.Ys) != 0 {
+		t.Errorf("streaming DDE run materialized %d rows", len(str.Ys))
+	}
+	if len(col.ts) != len(mat.Ts) {
+		t.Fatalf("streamed %d rows, materialized %d", len(col.ts), len(mat.Ts))
+	}
+	for k := range mat.Ts {
+		if col.ts[k] != mat.Ts[k] {
+			t.Fatalf("row %d: streamed t=%v, materialized t=%v", k, col.ts[k], mat.Ts[k])
+		}
+		for i := range mat.Ys[k] {
+			if col.ys[k][i] != mat.Ys[k][i] {
+				t.Fatalf("row %d comp %d: streamed %v, materialized %v",
+					k, i, col.ys[k][i], mat.Ys[k][i])
+			}
+		}
+	}
+}
+
+// TestSolveSampleFuncSteadyStateAllocs checks the streaming path allocates
+// nothing per sample beyond the solver's own step machinery: a no-op sink
+// over many samples costs no more allocations than the sample count.
+func TestSolveSampleFuncSteadyStateAllocs(t *testing.T) {
+	f := func(_ float64, y, dydt []float64) {
+		dydt[0] = y[1]
+		dydt[1] = -y[0]
+	}
+	s := NewDOPRI5(1e-8, 1e-6)
+	sink := func(float64, []float64) {}
+	run := func() {
+		if _, err := s.Solve(f, []float64{1, 0}, 0, 50, SolveOptions{
+			SampleAt:   func(k int) float64 { return 50 * float64(k) / 10000 },
+			NSamples:   10001,
+			SampleFunc: sink,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the solver buffers
+	allocs := testing.AllocsPerRun(3, run)
+	// The materialized path would allocate the ~10001-row arena plus the
+	// slice headers; the streamed path must stay near zero.
+	if allocs > 16 {
+		t.Errorf("streaming solve allocated %v objects per run, want ~0", allocs)
+	}
+}

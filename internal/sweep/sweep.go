@@ -65,7 +65,7 @@ func Run[P, R any](ctx context.Context, params []P, workers int, fn func(ctx con
 					out[i].Err = ctx.Err()
 					continue
 				}
-				r, err := fn(ctx, out[i].Param)
+				r, err := call(ctx, fn, out[i].Param)
 				out[i].Result = r
 				out[i].Err = err
 				if err != nil {
@@ -83,6 +83,123 @@ func Run[P, R any](ctx context.Context, params []P, workers int, fn func(ctx con
 	close(idx)
 	wg.Wait()
 	return out, firstErr
+}
+
+// call invokes fn with a panic guard: a panicking point surfaces as a
+// per-point error instead of killing its worker goroutine. An unguarded
+// panic would unwind the worker's range loop, the unbuffered idx channel
+// would lose a receiver, and the feeder — and with it Run — would block
+// forever once every worker had died.
+func call[P, R any](ctx context.Context, fn func(context.Context, P) (R, error), p P) (r R, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("worker panicked: %v", rec)
+		}
+	}()
+	return fn(ctx, p)
+}
+
+// RunReduce evaluates a generated sweep in streaming-reduction mode: point
+// i's parameter comes from gen(i), each completed result is handed to
+// reduce, and nothing else is retained — live memory is O(workers),
+// independent of n. This is the batch mode million-point studies pair with
+// core.Model.RunStream, where each point returns only an O(N) summary.
+//
+// reduce is called from worker goroutines serialized by an internal mutex,
+// in completion order; use the point index to place order-sensitive
+// output. The first error (including a recovered worker panic) cancels
+// outstanding work, and points canceled before running are never reported
+// to reduce.
+func RunReduce[P, R any](ctx context.Context, n, workers int, gen func(i int) P, fn func(ctx context.Context, p P) (R, error), reduce func(i int, p P, r R)) error {
+	if fn == nil {
+		return errors.New("sweep: nil worker function")
+	}
+	if gen == nil {
+		return errors.New("sweep: nil point generator")
+	}
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	var errOnce sync.Once
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue
+				}
+				p, r, err := callGen(ctx, gen, fn, i)
+				if err == nil && reduce != nil {
+					err = callReduce(&mu, reduce, i, p, r)
+				}
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("sweep: point %d: %w", i, err)
+						cancel()
+					})
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// callReduce runs the reduction for one completed point under the mutex,
+// with the same panic guard as the worker function: a panicking reduce
+// cancels the sweep as an error instead of crashing the process (and the
+// deferred unlock keeps the mutex usable either way).
+func callReduce[P, R any](mu *sync.Mutex, reduce func(int, P, R), i int, p P, r R) (err error) {
+	mu.Lock()
+	defer mu.Unlock()
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("reduce panicked: %v", rec)
+		}
+	}()
+	reduce(i, p, r)
+	return nil
+}
+
+// callGen generates and evaluates point i under the same panic guard as
+// call, so a panic in either gen or fn cancels the sweep cleanly.
+func callGen[P, R any](ctx context.Context, gen func(int) P, fn func(context.Context, P) (R, error), i int) (p P, r R, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("worker panicked: %v", rec)
+		}
+	}()
+	p = gen(i)
+	r, err = fn(ctx, p)
+	return
 }
 
 // Results extracts the result values of a fully successful sweep; it

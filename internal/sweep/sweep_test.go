@@ -3,7 +3,9 @@ package sweep
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -92,6 +94,181 @@ func TestRunRespectsCanceledContext(t *testing.T) {
 		if pt.Err == nil {
 			t.Error("points under a canceled context must fail")
 		}
+	}
+}
+
+// TestRunPanicDoesNotDeadlock is the regression test for the
+// panicking-worker deadlock: before the panic guard, a panicking fn killed
+// its worker goroutine, the feeder blocked on the unbuffered idx channel
+// once every worker had died, and Run never returned. The test runs Run in
+// a goroutine and fails (instead of hanging the suite) if it stalls.
+func TestRunPanicDoesNotDeadlock(t *testing.T) {
+	params := make([]int, 16)
+	for i := range params {
+		params[i] = i
+	}
+	type outcome struct {
+		pts []Point[int, int]
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		pts, err := Run(context.Background(), params, 2,
+			func(_ context.Context, p int) (int, error) {
+				panic(fmt.Sprintf("boom %d", p))
+			})
+		done <- outcome{pts, err}
+	}()
+	var got outcome
+	select {
+	case got = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep.Run deadlocked on panicking points")
+	}
+	if got.err == nil || !strings.Contains(got.err.Error(), "panicked") {
+		t.Fatalf("err = %v, want a surfaced panic", got.err)
+	}
+	for _, pt := range got.pts {
+		if pt.Err == nil {
+			t.Errorf("point %d: panic sweep must not report success", pt.Index)
+		}
+	}
+}
+
+// TestRunPanicCancelsRemainingPoints checks a single panicking point
+// behaves like an erroring one: the sweep cancels and the panic is
+// attributed to its point.
+func TestRunPanicCancelsRemainingPoints(t *testing.T) {
+	params := make([]int, 32)
+	for i := range params {
+		params[i] = i
+	}
+	pts, err := Run(context.Background(), params, 2,
+		func(ctx context.Context, p int) (int, error) {
+			if p == 3 {
+				panic("lone panic")
+			}
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(time.Millisecond):
+			}
+			return p * p, nil
+		})
+	if err == nil || !strings.Contains(err.Error(), "lone panic") {
+		t.Fatalf("err = %v, want the recovered panic", err)
+	}
+	if pts[3].Err == nil || !strings.Contains(pts[3].Err.Error(), "panicked") {
+		t.Errorf("point 3 must carry the panic error, got %v", pts[3].Err)
+	}
+}
+
+func TestRunReduceSum(t *testing.T) {
+	const n = 100
+	var sum int64
+	seen := make([]bool, n)
+	err := RunReduce(context.Background(), n, 4,
+		func(i int) int { return i },
+		func(_ context.Context, p int) (int, error) { return p * p, nil },
+		func(i int, p, r int) {
+			// reduce is serialized: plain writes are safe here.
+			if seen[i] {
+				t.Errorf("point %d reduced twice", i)
+			}
+			seen[i] = true
+			if r != p*p {
+				t.Errorf("point %d: result %d", i, r)
+			}
+			sum += int64(r)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for i := 0; i < n; i++ {
+		want += int64(i * i)
+	}
+	if sum != want {
+		t.Errorf("sum = %d, want %d", sum, want)
+	}
+	for i, s := range seen {
+		if !s {
+			t.Errorf("point %d never reduced", i)
+		}
+	}
+}
+
+func TestRunReduceErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	err := RunReduce(context.Background(), 64, 2,
+		func(i int) int { return i },
+		func(ctx context.Context, p int) (int, error) {
+			if p == 5 {
+				return 0, boom
+			}
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(time.Millisecond):
+			}
+			return p, nil
+		},
+		func(int, int, int) {})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestRunReducePanicCancels(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- RunReduce(context.Background(), 16, 2,
+			func(i int) int { return i },
+			func(_ context.Context, p int) (int, error) { panic("reduce-mode boom") },
+			func(int, int, int) {})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("err = %v, want a surfaced panic", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunReduce deadlocked on panicking points")
+	}
+}
+
+func TestRunReducePanicInReduceCancels(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- RunReduce(context.Background(), 16, 2,
+			func(i int) int { return i },
+			func(_ context.Context, p int) (int, error) { return p, nil },
+			func(int, int, int) { panic("reducer boom") })
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "reduce panicked") {
+			t.Fatalf("err = %v, want the surfaced reduce panic", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunReduce hung on a panicking reducer")
+	}
+}
+
+func TestRunReduceValidation(t *testing.T) {
+	if err := RunReduce[int, int](context.Background(), 3, 1, nil,
+		func(_ context.Context, p int) (int, error) { return p, nil }, nil); err == nil {
+		t.Error("want error for nil gen")
+	}
+	if err := RunReduce[int, int](context.Background(), 3, 1,
+		func(i int) int { return i }, nil, nil); err == nil {
+		t.Error("want error for nil fn")
+	}
+	if err := RunReduce(context.Background(), 0, 1,
+		func(i int) int { return i },
+		func(_ context.Context, p int) (int, error) { return p, nil },
+		nil); err != nil {
+		t.Errorf("empty sweep: %v", err)
 	}
 }
 
