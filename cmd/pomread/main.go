@@ -1,0 +1,126 @@
+// Command pomread inspects disk-backed sweep archives written by
+// sweep.RunArchive, pomsim -archive, or examples/archivesweep — the
+// post-hoc analysis entry point for archived trajectories, the role the
+// trace browser plays for ITAC files in the paper's workflow.
+//
+// Modes:
+//
+//	pomread -dir runs/desync              # per-shard and whole-archive summary
+//	pomread -dir runs/desync -index 17    # dump one point's record
+//	pomread -dir runs/desync -verify      # CRC-check every record
+//
+// The dump prints the parameter vector, metrics, sample dimensions,
+// first/last rows, and — when the record embeds a trace — its per-rank
+// utilization. -verify walks every record through its checksum and
+// reports the first corruption, so a damaged archive is diagnosed
+// instead of silently mis-read.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+
+	"repro/internal/archive"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pomread: ")
+
+	var (
+		dir    = flag.String("dir", "", "archive directory (required)")
+		index  = flag.Int("index", -1, "dump the record of this point index (-1 = summarize the archive)")
+		verify = flag.Bool("verify", false, "read and CRC-check every record")
+		rows   = flag.Int("rows", 2, "sample rows to print from each end of a dumped record")
+	)
+	flag.Parse()
+	if *dir == "" {
+		log.Fatal("-dir is required")
+	}
+
+	a, err := archive.OpenDir(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+
+	switch {
+	case *verify:
+		doVerify(a)
+	case *index >= 0:
+		dump(a, uint64(*index), *rows)
+	default:
+		summarize(a, *dir)
+	}
+}
+
+// summarize prints the shard table and the point-index coverage.
+func summarize(a *archive.Archive, dir string) {
+	var bytes int64
+	for _, s := range a.Shards() {
+		fmt.Printf("%-24s %6d records  %10d bytes\n", filepath.Base(s.Path), s.Len(), s.Size())
+		bytes += s.Size()
+	}
+	idx := a.Indices()
+	if len(idx) == 0 {
+		fmt.Printf("%s: empty archive\n", dir)
+		return
+	}
+	gaps := 0
+	for k := 1; k < len(idx); k++ {
+		if idx[k] != idx[k-1]+1 {
+			gaps++
+		}
+	}
+	fmt.Printf("%d points in %d shards, %d bytes (%.0f B/point), indices %d..%d",
+		a.Len(), len(a.Shards()), bytes, float64(bytes)/float64(a.Len()), idx[0], idx[len(idx)-1])
+	if gaps > 0 {
+		fmt.Printf(", %d gap(s) — resumable", gaps)
+	}
+	fmt.Println()
+}
+
+// dump prints one decoded record.
+func dump(a *archive.Archive, index uint64, edgeRows int) {
+	rec, err := a.Read(index)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("point %d\n", rec.Index)
+	fmt.Printf("  params:  %v\n", rec.Params)
+	fmt.Printf("  metrics: %v\n", rec.Metrics)
+	fmt.Printf("  samples: %d rows × width %d\n", rec.NSamples(), rec.Width)
+	n := rec.NSamples()
+	for k := 0; k < n; k++ {
+		if k == edgeRows && n > 2*edgeRows {
+			fmt.Printf("    ... %d rows elided ...\n", n-2*edgeRows)
+			k = n - edgeRows - 1
+			continue
+		}
+		fmt.Printf("    t=%-10.4g %v\n", rec.Ts[k], rec.Row(k))
+	}
+	if rec.Trace == nil {
+		fmt.Println("  trace:   none")
+		return
+	}
+	fmt.Printf("  trace:   %d ranks, makespan %.4g\n", rec.Trace.N(), rec.Trace.End)
+	for _, u := range rec.Trace.UtilizationReport() {
+		fmt.Printf("    rank %-3d compute %8.4g  comm %8.4g  (%.0f%% compute)\n",
+			u.Rank, u.Compute, u.Comm, 100*u.ComputeFraction)
+	}
+}
+
+// doVerify reads every record, which CRC-checks every payload.
+func doVerify(a *archive.Archive) {
+	checked := 0
+	err := a.Iter(func(rec *archive.Record) error {
+		checked++
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("corruption after %d good records: %v", checked, err)
+	}
+	fmt.Printf("OK: %d records verified across %d shards\n", checked, len(a.Shards()))
+}

@@ -3,10 +3,17 @@
 // prints the settled state, wave metrics, and an ASCII phase strip, and
 // optionally writes the phase-timeline and circle-diagram SVGs.
 //
+// With -archive DIR the run streams its full trajectory into a new
+// shard of the disk-backed archive at DIR (creating it if needed):
+// every sample row plus the summary-metric vector, readable back with
+// cmd/pomread or internal/archive. Archiving implies streaming mode, so
+// it composes with -stream and excludes -svg.
+//
 // Examples:
 //
 //	pomsim -n 40 -potential tanh -delay-rank 5
 //	pomsim -n 40 -potential desync -sigma 1.5 -offsets=-1,1 -svg out
+//	pomsim -n 40 -potential desync -sigma 1.5 -archive runs/desync
 //	pomsim -save-config fig2b.json -potential desync -sigma 1.5
 //	pomsim -config fig2b.json
 package main
@@ -20,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/potential"
 	"repro/internal/scenario"
@@ -52,6 +60,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "noise / perturbation seed")
 		svgDir    = flag.String("svg", "", "directory to write SVG plots into (empty = none)")
 		stream    = flag.Bool("stream", false, "stream samples through online accumulators instead of materializing the trajectory (constant memory; no phase strip / SVGs)")
+		archDir   = flag.String("archive", "", "archive the run (all sample rows + summary metrics) into a new shard of this directory; implies -stream")
 		quiet     = flag.Bool("quiet", false, "suppress the ASCII phase strip")
 		cfgPath   = flag.String("config", "", "load a scenario JSON (replaces the model flags)")
 		savePath  = flag.String("save-config", "", "write the effective scenario JSON and exit")
@@ -127,11 +136,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *stream {
+	if *stream || *archDir != "" {
 		if *svgDir != "" {
-			log.Fatal("-svg needs the materialized trajectory; drop -stream")
+			log.Fatal("-svg needs the materialized trajectory; drop -stream/-archive")
 		}
-		reportStream(spec, m, runEnd, runSamples)
+		reportStream(spec, m, runEnd, runSamples, *archDir)
 		return
 	}
 	res, err := m.Run(runEnd, runSamples)
@@ -145,8 +154,9 @@ func main() {
 // the online accumulator sinks and only O(N) summary state is ever
 // retained — the memory model of the million-scenario batch sweeps. The
 // printed metrics are bit-for-bit the ones report derives from the
-// materialized trajectory.
-func reportStream(spec *scenario.Spec, m *core.Model, tEnd float64, nSamples int) {
+// materialized trajectory. With a non-empty archDir the same pass also
+// streams every row into a new shard of the disk-backed archive there.
+func reportStream(spec *scenario.Spec, m *core.Model, tEnd float64, nSamples int, archDir string) {
 	spread := &core.SpreadAccumulator{FinalFraction: 0.15}
 	resync := &core.ResyncDetector{Eps: 0.1}
 	gaps := &core.GapAccumulator{FinalFraction: 0.15}
@@ -161,9 +171,57 @@ func reportStream(spec *scenario.Spec, m *core.Model, tEnd float64, nSamples int
 		sinks = append(sinks, det)
 	}
 
+	// Archiving rides the same pass: the record writer is one more sink,
+	// so the rows on disk are exactly the rows the accumulators saw. Each
+	// pomsim invocation gets its own shard (and uses the shard id as the
+	// point index), so successive runs accumulate in one directory.
+	var aw *archive.Writer
+	var rec *archive.RecordWriter
+	order := &core.OrderAccumulator{}
+	if archDir != "" {
+		shard, err := archive.NextShard(archDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if aw, err = archive.Create(archDir, shard); err != nil {
+			log.Fatal(err)
+		}
+		rec, err = aw.Begin(uint64(shard), []float64{
+			float64(spec.N), spec.TEnd, float64(nSamples), spec.Potential.Sigma,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The order accumulator completes the standard Summary metric
+		// set, so the archived vector matches the layout sweep-written
+		// records use (core.Summary.Vector).
+		sinks = append(sinks, order, rec)
+	}
+
 	stats, err := m.RunStream(tEnd, nSamples, core.Tee(sinks...))
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if rec != nil {
+		sum := core.Summary{
+			FinalSpread:      spread.Final(),
+			MaxSpread:        spread.Max(),
+			AsymptoticSpread: spread.Asymptotic(),
+			FinalOrder:       order.Final(),
+			MinOrder:         order.Min(),
+			MeanAbsGap:       gaps.MeanAbsGap(),
+		}
+		if rt, err := resync.ResyncTime(); err == nil {
+			sum.Resynced, sum.ResyncTime = true, rt
+		}
+		if err := rec.Finish(sum.Vector(), nil); err != nil {
+			log.Fatal(err)
+		}
+		if err := aw.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("archived %d sample rows to %s (point %d)\n", nSamples, aw.Path(), rec.Index())
 	}
 
 	fmt.Printf("POM run (streaming): %s  N=%d potential=%s offsets=%v v_p=%.3g coupling=%.3g\n",

@@ -1,0 +1,485 @@
+// Package archive is a sharded, disk-backed record store for sweep
+// output — the persistence layer the ROADMAP's streaming follow-on asked
+// for. Where sweep.RunReduce reduces every point to an online summary,
+// an archive keeps the full per-point output (parameter vector, sample
+// rows, summary metrics, and optionally a trace.Trace) on disk for
+// post-hoc analysis, the role ITAC trace files play in the paper's
+// workflow.
+//
+// An archive is a directory of shard files. Each shard is written by
+// exactly one goroutine (writes are lock-free), carries a CRC per record
+// and a footer index, and becomes visible under its final name only via
+// an atomic rename on Close — a crashed run leaves only complete shards
+// plus ignorable *.tmp litter, which is what makes sweeps resumable:
+// sweep.RunArchive scans the completed shards and skips their points.
+//
+// Shard layout (all integers little-endian):
+//
+//	header   "POMARC1\n"                                     (8 bytes)
+//	record   [magic u32][payloadLen u32][payload][crc32c u32]  (×N)
+//	footer   [magic u32][count u32][entries][crc32c u32]
+//	entry    [index u64][offset u64][payloadLen u32]           (×count)
+//	trailer  [footerOffset u64][magic u32]                   (12 bytes)
+//
+// Record payload:
+//
+//	index u64 · nParams u32 · params f64×nParams
+//	width u32 · nSamples u32 · rows (t f64 · y f64×width)×nSamples
+//	nMetrics u32 · metrics f64×nMetrics
+//	traceLen u32 · trace bytes (trace.AppendBinary; 0 = none)
+//
+// The row section sits in the middle so a core.Sink can stream solver
+// rows straight into the shard: dimensions are known at Sink.Begin time,
+// metrics and trace only after the run, and just the payload length is
+// patched in afterwards.
+package archive
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/trace"
+)
+
+// math64bits keeps the encode lines short; floats are stored as their
+// IEEE-754 bits so a round trip is bitwise-exact.
+func math64bits(v float64) uint64 { return math.Float64bits(v) }
+
+const (
+	shardMagic   = "POMARC1\n"
+	recordMagic  = 0x504d5243 // "PMRC"
+	footerMagic  = 0x504d4958 // "PMIX"
+	trailerMagic = 0x504d4654 // "PMFT"
+
+	headerLen  = 8
+	trailerLen = 12
+	entryLen   = 8 + 8 + 4
+)
+
+// ErrCorrupt reports structural damage to a shard: a torn write, a
+// failed CRC, or a mangled index. Readers wrap it with the shard path
+// and offset; they never panic on damaged input.
+var ErrCorrupt = errors.New("archive: corrupt shard")
+
+// castagnoli is the CRC-32C table shared by writers and readers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one archived sweep point in decoded form.
+type Record struct {
+	// Index is the point's position in the sweep grid.
+	Index uint64
+	// Params is the point's parameter vector.
+	Params []float64
+	// Width is the state width N of one sample row.
+	Width int
+	// Ts are the sample times.
+	Ts []float64
+	// Samples holds the rows flattened row-major: row k is
+	// Samples[k*Width : (k+1)*Width].
+	Samples []float64
+	// Metrics are the summary metrics (e.g. core.Summary.Vector).
+	Metrics []float64
+	// Trace is the optional execution trace.
+	Trace *trace.Trace
+}
+
+// NSamples returns the number of sample rows.
+func (r *Record) NSamples() int { return len(r.Ts) }
+
+// Row returns sample row k (aliasing Samples).
+func (r *Record) Row(k int) []float64 { return r.Samples[k*r.Width : (k+1)*r.Width] }
+
+// shardName returns the final file name of shard id.
+func shardName(id int) string { return fmt.Sprintf("shard-%05d.pom", id) }
+
+// ShardPattern globs the completed shards of an archive directory.
+func ShardPattern(dir string) string { return filepath.Join(dir, "shard-*.pom") }
+
+// TmpPattern globs the in-progress (or crash-littered) shard files.
+func TmpPattern(dir string) string { return filepath.Join(dir, "shard-*.pom.tmp") }
+
+// NextShard returns the smallest shard id not used by any completed or
+// in-progress shard in dir, so resumed runs never collide with archived
+// ones. A missing directory yields 0.
+func NextShard(dir string) (int, error) {
+	next := 0
+	for _, pat := range []string{ShardPattern(dir), TmpPattern(dir)} {
+		names, err := filepath.Glob(pat)
+		if err != nil {
+			return 0, fmt.Errorf("archive: scanning %s: %w", dir, err)
+		}
+		for _, name := range names {
+			var id int
+			base := filepath.Base(name)
+			if _, err := fmt.Sscanf(base, "shard-%05d.pom", &id); err == nil && id >= next {
+				next = id + 1
+			}
+		}
+	}
+	return next, nil
+}
+
+// Writer appends records to one shard file. It is not safe for
+// concurrent use — in a sweep every worker owns its own Writer, which is
+// what keeps shard writes lock-free. Records become durable only at
+// Close, when the footer index is written, the file synced, and the
+// *.tmp name atomically renamed to the final one.
+type Writer struct {
+	dir   string
+	path  string // final path
+	tmp   string // in-progress path
+	f     *os.File
+	bw    *bufio.Writer
+	off   int64 // logical write offset (through bw)
+	ents  []indexEntry
+	rec   *RecordWriter // open record, if any
+	buf   []byte        // encoding scratch
+	state writerState
+}
+
+type writerState int
+
+const (
+	writerOpen writerState = iota
+	writerClosed
+	writerAborted
+)
+
+type indexEntry struct {
+	index  uint64
+	off    int64
+	length uint32
+}
+
+// Create opens a new shard writer for the given shard id inside dir
+// (created if missing). The data lands in a *.tmp file until Close.
+func Create(dir string, shard int) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	path := filepath.Join(dir, shardName(shard))
+	tmp := path + ".tmp"
+	// O_EXCL: two writers racing to the same shard id (e.g. concurrent
+	// archiving runs over one directory) must fail loudly here instead
+	// of silently interleaving into a corrupt shard. Stale tmp files
+	// from crashed runs are removed by sweep.RunArchive before it
+	// allocates shard ids, and NextShard never reuses a live tmp's id.
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("archive: creating shard (already being written by another run?): %w", err)
+	}
+	w := &Writer{dir: dir, path: path, tmp: tmp, f: f, bw: bufio.NewWriterSize(f, 1<<16)}
+	w.writeRaw([]byte(shardMagic))
+	return w, nil
+}
+
+// Path returns the shard's final (post-Close) path.
+func (w *Writer) Path() string { return w.path }
+
+// Len returns the number of sealed records.
+func (w *Writer) Len() int { return len(w.ents) }
+
+// writeRaw writes b to the shard and advances the logical offset.
+func (w *Writer) writeRaw(b []byte) {
+	n, _ := w.bw.Write(b) // bufio defers errors to Flush; n is always len(b) until then
+	w.off += int64(n)
+}
+
+// u32 appends v little-endian to the scratch buffer.
+func u32(buf []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(buf, v) }
+
+// u64 appends v little-endian to the scratch buffer.
+func u64(buf []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(buf, v) }
+
+// f64s appends the float vector little-endian to the scratch buffer.
+func f64s(buf []byte, vs []float64) []byte {
+	for _, v := range vs {
+		buf = binary.LittleEndian.AppendUint64(buf, math64bits(v))
+	}
+	return buf
+}
+
+// Begin opens the record for point index with the given parameter
+// vector and returns its streaming writer. Exactly one record can be
+// open at a time; it must be sealed with Finish (or undone with
+// Rollback) before the next Begin or Close.
+func (w *Writer) Begin(index uint64, params []float64) (*RecordWriter, error) {
+	if w.state != writerOpen {
+		return nil, errors.New("archive: writer is closed")
+	}
+	if w.rec != nil {
+		return nil, fmt.Errorf("archive: record %d still open", w.rec.index)
+	}
+	rw := &RecordWriter{w: w, index: index, frameOff: w.off}
+	w.buf = u32(w.buf[:0], recordMagic)
+	w.buf = u32(w.buf, 0) // payload length, patched by Finish
+	w.writeRaw(w.buf)
+	rw.payloadOff = w.off
+	w.buf = u64(w.buf[:0], index)
+	w.buf = u32(w.buf, uint32(len(params)))
+	w.buf = f64s(w.buf, params)
+	rw.write(w.buf)
+	w.rec = rw
+	return rw, nil
+}
+
+// Append writes a whole decoded record through the streaming path, so
+// Append-ed and streamed records are byte-identical on disk.
+func (w *Writer) Append(rec *Record) error {
+	rw, err := w.Begin(rec.Index, rec.Params)
+	if err != nil {
+		return err
+	}
+	rw.Begin(rec.Width, rec.NSamples())
+	for k := 0; k < rec.NSamples(); k++ {
+		rw.Sample(rec.Ts[k], rec.Row(k))
+	}
+	if err := rw.Finish(rec.Metrics, rec.Trace); err != nil {
+		_ = w.Rollback(rw)
+		return err
+	}
+	return nil
+}
+
+// Rollback removes rec from the shard: the file is truncated back to
+// the record's start and, if the record was already sealed, its index
+// entry is dropped. Used by sweep workers to guarantee a failed point
+// leaves no partial data behind.
+func (w *Writer) Rollback(rec *RecordWriter) error {
+	if w.state != writerOpen || rec == nil || rec.w != w {
+		return nil
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	if err := w.f.Truncate(rec.frameOff); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	if _, err := w.f.Seek(rec.frameOff, 0); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	w.bw.Reset(w.f)
+	w.off = rec.frameOff
+	if rec.sealed {
+		if n := len(w.ents); n > 0 && w.ents[n-1].index == rec.index {
+			w.ents = w.ents[:n-1]
+		}
+	}
+	if w.rec == rec {
+		w.rec = nil
+	}
+	rec.sealed = false
+	rec.err = errors.New("archive: record rolled back")
+	return nil
+}
+
+// Close seals the shard: footer index, fsync, and the atomic rename
+// that makes the shard visible to readers. Closing with a record still
+// open is an error (Rollback or Finish it first).
+func (w *Writer) Close() error {
+	if w.state != writerOpen {
+		return errors.New("archive: writer is closed")
+	}
+	if w.rec != nil {
+		return fmt.Errorf("archive: record %d still open", w.rec.index)
+	}
+	footerOff := w.off
+	w.buf = u32(w.buf[:0], footerMagic)
+	body := u32(nil, uint32(len(w.ents)))
+	for _, e := range w.ents {
+		body = u64(body, e.index)
+		body = u64(body, uint64(e.off))
+		body = u32(body, e.length)
+	}
+	w.buf = append(w.buf, body...)
+	w.buf = u32(w.buf, crc32.Checksum(body, castagnoli))
+	w.buf = u64(w.buf, uint64(footerOff))
+	w.buf = u32(w.buf, trailerMagic)
+	w.writeRaw(w.buf)
+	if err := w.bw.Flush(); err != nil {
+		w.fail()
+		return fmt.Errorf("archive: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.fail()
+		return fmt.Errorf("archive: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		w.state = writerAborted
+		_ = os.Remove(w.tmp)
+		return fmt.Errorf("archive: %w", err)
+	}
+	if err := os.Rename(w.tmp, w.path); err != nil {
+		w.state = writerAborted
+		_ = os.Remove(w.tmp)
+		return fmt.Errorf("archive: %w", err)
+	}
+	w.state = writerClosed
+	return nil
+}
+
+// fail abandons the underlying file after a write error.
+func (w *Writer) fail() {
+	_ = w.f.Close()
+	_ = os.Remove(w.tmp)
+	w.state = writerAborted
+}
+
+// Abort discards the shard: the *.tmp file is removed and nothing
+// becomes visible to readers. Safe to call after a failed Close.
+func (w *Writer) Abort() error {
+	if w.state != writerOpen {
+		return nil
+	}
+	w.state = writerAborted
+	_ = w.f.Close()
+	if err := os.Remove(w.tmp); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	return nil
+}
+
+// RecordWriter streams one record into its shard. Begin and Sample
+// implement core.Sink, so solver rows flow from the integrator's reused
+// buffers straight to disk with no materialized trajectory; Finish
+// seals the record with the summary metrics and optional trace. Errors
+// during the sink callbacks (which cannot return one) are stashed and
+// surfaced by Finish.
+type RecordWriter struct {
+	w          *Writer
+	index      uint64
+	frameOff   int64 // offset of the record magic
+	payloadOff int64 // offset of the first payload byte
+	crc        uint32
+
+	width, nSamples, rows int
+	dims                  bool
+	sealed                bool
+	err                   error
+}
+
+// Index returns the point index the record was opened with.
+func (rw *RecordWriter) Index() uint64 { return rw.index }
+
+// Sealed reports whether Finish completed.
+func (rw *RecordWriter) Sealed() bool { return rw.sealed }
+
+// write appends payload bytes, folding them into the record CRC.
+func (rw *RecordWriter) write(b []byte) {
+	rw.crc = crc32.Update(rw.crc, castagnoli, b)
+	rw.w.writeRaw(b)
+}
+
+// Begin implements core.Sink: it fixes the row dimensions. It must run
+// before the first Sample and at most once per record.
+func (rw *RecordWriter) Begin(n, nSamples int) {
+	if rw.sealed || rw.err != nil {
+		rw.stash(errors.New("archive: Begin on a finished record"))
+		return
+	}
+	if rw.dims {
+		rw.stash(errors.New("archive: Begin called twice"))
+		return
+	}
+	if n < 0 || nSamples < 0 {
+		rw.stash(fmt.Errorf("archive: negative record dimensions (%d, %d)", n, nSamples))
+		return
+	}
+	rw.dims = true
+	rw.width, rw.nSamples = n, nSamples
+	rw.w.buf = u32(rw.w.buf[:0], uint32(n))
+	rw.w.buf = u32(rw.w.buf, uint32(nSamples))
+	rw.write(rw.w.buf)
+}
+
+// Sample implements core.Sink: it appends one row. y is not retained.
+func (rw *RecordWriter) Sample(t float64, y []float64) {
+	if rw.err != nil {
+		return
+	}
+	switch {
+	case !rw.dims:
+		rw.stash(errors.New("archive: Sample before Begin"))
+	case len(y) != rw.width:
+		rw.stash(fmt.Errorf("archive: row width %d, want %d", len(y), rw.width))
+	case rw.rows >= rw.nSamples:
+		rw.stash(fmt.Errorf("archive: more than %d sample rows", rw.nSamples))
+	default:
+		rw.rows++
+		rw.w.buf = u64(rw.w.buf[:0], math64bits(t))
+		rw.w.buf = f64s(rw.w.buf, y)
+		rw.write(rw.w.buf)
+	}
+}
+
+// stash records the first sink-side error for Finish to report.
+func (rw *RecordWriter) stash(err error) {
+	if rw.err == nil {
+		rw.err = err
+	}
+}
+
+// Finish seals the record with the summary metrics and optional trace,
+// patches the payload length, and adds the record to the shard index.
+// The record stays invisible to readers until the shard's Close.
+func (rw *RecordWriter) Finish(metrics []float64, tr *trace.Trace) error {
+	w := rw.w
+	if rw.sealed {
+		return errors.New("archive: record already finished")
+	}
+	if w.rec != rw {
+		return errors.New("archive: record is not open")
+	}
+	if rw.err == nil && !rw.dims {
+		// A record without samples is legal: write the empty dimension
+		// section through the normal path so the payload stays decodable.
+		rw.Begin(0, 0)
+	}
+	if rw.err == nil && rw.rows != rw.nSamples {
+		rw.stash(fmt.Errorf("archive: got %d of %d sample rows", rw.rows, rw.nSamples))
+	}
+	if rw.err != nil {
+		return rw.err
+	}
+	w.buf = u32(w.buf[:0], uint32(len(metrics)))
+	w.buf = f64s(w.buf, metrics)
+	if tr == nil {
+		w.buf = u32(w.buf, 0)
+	} else {
+		tb := tr.AppendBinary(nil)
+		if int64(len(tb)) > math.MaxUint32 {
+			rw.stash(fmt.Errorf("archive: embedded trace of %d bytes exceeds the format limit", len(tb)))
+			return rw.err
+		}
+		w.buf = u32(w.buf, uint32(len(tb)))
+		w.buf = append(w.buf, tb...)
+	}
+	rw.write(w.buf)
+	payloadLen := w.off - rw.payloadOff
+	if payloadLen > math.MaxUint32 {
+		// The 4-byte length prefix cannot frame this record; report it
+		// instead of writing a wrapped length that every read rejects.
+		rw.stash(fmt.Errorf("archive: record payload of %d bytes exceeds the 4 GiB format limit", payloadLen))
+		return rw.err
+	}
+	w.buf = u32(w.buf[:0], rw.crc)
+	w.writeRaw(w.buf)
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(payloadLen))
+	if _, err := w.f.WriteAt(lenBuf[:], rw.frameOff+4); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	w.ents = append(w.ents, indexEntry{index: rw.index, off: rw.frameOff, length: uint32(payloadLen)})
+	w.rec = nil
+	rw.sealed = true
+	return nil
+}

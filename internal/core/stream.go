@@ -434,6 +434,15 @@ type Summary struct {
 // returns the O(N) summary. resyncEps 0 selects 0.1 and finalFraction 0
 // selects 0.15 — the thresholds the materialized report paths use.
 func (m *Model) RunSummary(tEnd float64, nSamples int, resyncEps, finalFraction float64) (*Summary, error) {
+	return m.RunSummaryTo(tEnd, nSamples, resyncEps, finalFraction)
+}
+
+// RunSummaryTo is RunSummary with extra sinks teed into the same single
+// pass over the sample stream — the hook archive-mode sweeps use to
+// persist the full trajectory (an archive.RecordWriter is a Sink) while
+// the standard summary accumulates. The extra sinks see exactly the
+// rows the accumulators see, in the same order.
+func (m *Model) RunSummaryTo(tEnd float64, nSamples int, resyncEps, finalFraction float64, extra ...Sink) (*Summary, error) {
 	if resyncEps == 0 {
 		resyncEps = 0.1
 	}
@@ -441,7 +450,8 @@ func (m *Model) RunSummary(tEnd float64, nSamples int, resyncEps, finalFraction 
 	order := &OrderAccumulator{}
 	resync := &ResyncDetector{Eps: resyncEps}
 	gaps := &GapAccumulator{FinalFraction: finalFraction}
-	st, err := m.RunStream(tEnd, nSamples, Tee(spread, order, resync, gaps))
+	sinks := append([]Sink{spread, order, resync, gaps}, extra...)
+	st, err := m.RunStream(tEnd, nSamples, Tee(sinks...))
 	if err != nil {
 		return nil, err
 	}
@@ -459,4 +469,20 @@ func (m *Model) RunSummary(tEnd float64, nSamples int, resyncEps, finalFraction 
 		sum.Resynced, sum.ResyncTime = true, rt
 	}
 	return sum, nil
+}
+
+// Vector flattens the scalar summary metrics into a fixed-layout float
+// vector — the metrics section of an archive record. The layout is
+// stable: [FinalSpread, MaxSpread, AsymptoticSpread, FinalOrder,
+// MinOrder, resynced (0/1), ResyncTime, MeanAbsGap].
+func (s *Summary) Vector() []float64 {
+	resynced := 0.0
+	if s.Resynced {
+		resynced = 1
+	}
+	return []float64{
+		s.FinalSpread, s.MaxSpread, s.AsymptoticSpread,
+		s.FinalOrder, s.MinOrder,
+		resynced, s.ResyncTime, s.MeanAbsGap,
+	}
 }

@@ -219,6 +219,72 @@ func TestRunSummaryResync(t *testing.T) {
 	}
 }
 
+// TestRunSummaryToExtraSinks checks the archive hook: extra sinks teed
+// into RunSummaryTo see exactly the rows the accumulators see (count,
+// times, and values), and the summary itself is unchanged by their
+// presence.
+func TestRunSummaryToExtraSinks(t *testing.T) {
+	cfg := baseConfig(t, 8)
+	cfg.LocalNoise = noise.Delay{Rank: 3, Start: 10, Duration: 1, Extra: 20}
+	const tEnd, nSamples = 60.0, 121
+
+	mPlain, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mPlain.RunSummary(tEnd, nSamples, 0.1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mTee, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows int
+	var lastT float64
+	var width int
+	tap := SinkFunc(func(ts float64, theta []float64) {
+		rows++
+		lastT = ts
+		width = len(theta)
+	})
+	got, err := mTee.RunSummaryTo(tEnd, nSamples, 0.1, 0.15, tap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != nSamples || lastT != tEnd || width != 8 {
+		t.Errorf("extra sink saw %d rows (last t=%v, width %d), want %d rows to t=%v width 8",
+			rows, lastT, width, nSamples, tEnd)
+	}
+	if got.AsymptoticSpread != want.AsymptoticSpread || got.ResyncTime != want.ResyncTime ||
+		got.MeanAbsGap != want.MeanAbsGap || got.Stats != want.Stats {
+		t.Errorf("extra sinks perturbed the summary: %+v vs %+v", got, want)
+	}
+}
+
+// TestSummaryVector pins the archive metric layout.
+func TestSummaryVector(t *testing.T) {
+	s := &Summary{
+		FinalSpread: 1, MaxSpread: 2, AsymptoticSpread: 3,
+		FinalOrder: 4, MinOrder: 5,
+		Resynced: true, ResyncTime: 6, MeanAbsGap: 7,
+	}
+	want := []float64{1, 2, 3, 4, 5, 1, 6, 7}
+	got := s.Vector()
+	if len(got) != len(want) {
+		t.Fatalf("vector length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("vector[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if v := (&Summary{}).Vector(); v[5] != 0 {
+		t.Error("non-resynced flag must encode as 0")
+	}
+}
+
 // TestRunStreamValidation covers the error paths.
 func TestRunStreamValidation(t *testing.T) {
 	m, err := New(baseConfig(t, 8))

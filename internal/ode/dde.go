@@ -93,7 +93,9 @@ func (h *History) Compact(tmin float64) {
 	}
 }
 
-// DDEOptions configures SolveDDE.
+// DDEOptions configures SolveDDE. Sample plans are validated exactly
+// like SolveOptions: strictly increasing times inside [t0, t1] and a
+// nonnegative NSamples, or a clear error before integration starts.
 type DDEOptions struct {
 	// SampleTs requests output at these increasing times.
 	SampleTs []float64

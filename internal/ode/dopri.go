@@ -164,8 +164,9 @@ func (seg *DenseSegment) End() float64 { return seg.T0 + seg.H }
 
 // SolveOptions configures a DOPRI5 integration run.
 type SolveOptions struct {
-	// SampleTs requests output at these times (must be increasing and lie
-	// in [t0, t1]); when nil, every accepted step is recorded.
+	// SampleTs requests output at these times (must be strictly
+	// increasing and lie in [t0, t1] — validated by Solve); when nil,
+	// every accepted step is recorded.
 	SampleTs []float64
 	// SampleAt, together with NSamples > 0, requests output at the
 	// increasing times SampleAt(0) … SampleAt(NSamples−1) without
@@ -226,6 +227,9 @@ func (s *DOPRI5) Solve(f Func, y0 []float64, t0, t1 float64, opt SolveOptions) (
 
 	// The sample plan is either an explicit grid (SampleTs) or a virtual
 	// one (SampleAt), evaluated lazily so streaming runs hold no grid.
+	if opt.NSamples < 0 {
+		return nil, fmt.Errorf("ode: negative NSamples %d", opt.NSamples)
+	}
 	hasPlan := opt.SampleTs != nil
 	nSamp := len(opt.SampleTs)
 	sampleAt := func(k int) float64 { return opt.SampleTs[k] }
@@ -233,6 +237,16 @@ func (s *DOPRI5) Solve(f Func, y0 []float64, t0, t1 float64, opt SolveOptions) (
 		hasPlan = true
 		nSamp = opt.NSamples
 		sampleAt = opt.SampleAt
+	}
+	// A bad plan — non-increasing times or samples outside [t0, t1] —
+	// would silently produce corrupt output (rows skipped, duplicated, or
+	// extrapolated); reject it up front. The scan evaluates the virtual
+	// plan once ahead of time, which costs O(nSamp) arithmetic and no
+	// allocations.
+	if hasPlan {
+		if err := checkSamplePlan(nSamp, sampleAt, t0, t1); err != nil {
+			return nil, err
+		}
 	}
 
 	// With a known sample plan the output rows are carved out of one
@@ -363,6 +377,23 @@ func (s *DOPRI5) Solve(f Func, y0 []float64, t0, t1 float64, opt SolveOptions) (
 		}
 	}
 	return res, nil
+}
+
+// checkSamplePlan validates a sample plan: every time must lie inside
+// the integration interval and the sequence must be strictly increasing.
+func checkSamplePlan(n int, at func(int) float64, t0, t1 float64) error {
+	prev := math.Inf(-1)
+	for k := 0; k < n; k++ {
+		ts := at(k)
+		if math.IsNaN(ts) || ts < t0 || ts > t1 {
+			return fmt.Errorf("ode: sample %d at t=%g lies outside [%g, %g]", k, ts, t0, t1)
+		}
+		if ts <= prev {
+			return fmt.Errorf("ode: sample plan not increasing: sample %d at t=%g after t=%g", k, ts, prev)
+		}
+		prev = ts
+	}
+	return nil
 }
 
 // step performs one trial step of size h from (t, y) into ynew and returns

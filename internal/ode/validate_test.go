@@ -1,0 +1,96 @@
+package ode
+
+import (
+	"strings"
+	"testing"
+)
+
+// Regression tests for sample-plan validation: before the checks, a
+// negative NSamples silently disabled the plan (materializing every
+// accepted step), a non-increasing SampleAt dropped or duplicated rows,
+// and a plan outside [t0, t1] emitted extrapolated garbage — all without
+// any error. Each case must now fail fast with a clear message.
+
+func decayRHS1(_ float64, y, dydt []float64) { dydt[0] = -y[0] }
+
+func delayRHS1(_ float64, y []float64, past Past, dydt []float64) {
+	dydt[0] = -past.Eval(0, 0)
+}
+
+func TestSolveRejectsNegativeNSamples(t *testing.T) {
+	s := NewDOPRI5(1e-8, 1e-6)
+	_, err := s.Solve(decayRHS1, []float64{1}, 0, 1, SolveOptions{
+		SampleAt: func(k int) float64 { return float64(k) }, NSamples: -3,
+	})
+	if err == nil || !strings.Contains(err.Error(), "NSamples") {
+		t.Fatalf("err = %v, want a negative-NSamples error", err)
+	}
+	// Negative NSamples is rejected even without a SampleAt plan: it is
+	// always a caller bug, never a way to spell "no plan".
+	if _, err := s.Solve(decayRHS1, []float64{1}, 0, 1, SolveOptions{NSamples: -1}); err == nil {
+		t.Fatal("negative NSamples without a plan accepted")
+	}
+}
+
+func TestSolveRejectsNonIncreasingPlan(t *testing.T) {
+	s := NewDOPRI5(1e-8, 1e-6)
+	plateau := []float64{0, 0.5, 0.5, 1}
+	if _, err := s.Solve(decayRHS1, []float64{1}, 0, 1, SolveOptions{SampleTs: plateau}); err == nil {
+		t.Fatal("plateau SampleTs accepted")
+	}
+	_, err := s.Solve(decayRHS1, []float64{1}, 0, 1, SolveOptions{
+		SampleAt: func(k int) float64 { return 0.5 - 0.1*float64(k) }, NSamples: 4,
+	})
+	if err == nil || !strings.Contains(err.Error(), "not increasing") {
+		t.Fatalf("err = %v, want a non-increasing-plan error", err)
+	}
+}
+
+func TestSolveRejectsPlanOutsideInterval(t *testing.T) {
+	s := NewDOPRI5(1e-8, 1e-6)
+	cases := []SolveOptions{
+		{SampleTs: []float64{-0.5, 0.5}},
+		{SampleTs: []float64{0.5, 1.5}},
+		{SampleAt: func(k int) float64 { return 2 * float64(k) }, NSamples: 3},
+	}
+	for i, opt := range cases {
+		_, err := s.Solve(decayRHS1, []float64{1}, 0, 1, opt)
+		if err == nil || !strings.Contains(err.Error(), "outside") {
+			t.Errorf("case %d: err = %v, want an out-of-interval error", i, err)
+		}
+	}
+}
+
+// TestSolveDDEValidatesPlans checks the DDE driver inherits the same
+// validation (it delegates to Solve).
+func TestSolveDDEValidatesPlans(t *testing.T) {
+	s := NewDOPRI5(1e-8, 1e-6)
+	if _, err := s.SolveDDE(delayRHS1, []float64{1}, 0, 1, DDEOptions{NSamples: -1}); err == nil {
+		t.Error("negative NSamples accepted by SolveDDE")
+	}
+	if _, err := s.SolveDDE(delayRHS1, []float64{1}, 0, 1, DDEOptions{
+		SampleTs: []float64{0.5, 0.25},
+	}); err == nil {
+		t.Error("non-increasing SampleTs accepted by SolveDDE")
+	}
+	if _, err := s.SolveDDE(delayRHS1, []float64{1}, 0, 1, DDEOptions{
+		SampleAt: func(k int) float64 { return 1 + float64(k) }, NSamples: 2,
+	}); err == nil {
+		t.Error("out-of-interval plan accepted by SolveDDE")
+	}
+}
+
+// TestSolveAcceptsBoundarySamples pins the valid extreme: samples
+// exactly at t0 and t1 remain legal (the uniform grids core builds
+// include both endpoints).
+func TestSolveAcceptsBoundarySamples(t *testing.T) {
+	s := NewDOPRI5(1e-8, 1e-6)
+	res, err := s.Solve(decayRHS1, []float64{1}, 0, 1, SolveOptions{SampleTs: []float64{0, 0.5, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The t0 sample is recorded by the initial row; the plan then skips it.
+	if len(res.Ts) != 3 || res.Ts[0] != 0 || res.Ts[2] != 1 {
+		t.Fatalf("Ts = %v", res.Ts)
+	}
+}

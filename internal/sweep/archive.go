@@ -1,0 +1,219 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/archive"
+)
+
+// ArchiveStats summarizes one RunArchive call.
+type ArchiveStats struct {
+	// Archived counts the points newly written by this call.
+	Archived int
+	// Skipped counts the points already present from earlier runs and
+	// skipped by resume.
+	Skipped int
+	// Shards counts the shard files this call sealed (empty shards are
+	// aborted, not sealed).
+	Shards int
+}
+
+// ArchivePointFunc evaluates one sweep point and writes its output
+// through the open archive record: stream sample rows via rec (it is a
+// core.Sink — hand it to Model.RunStream or tee it with the summary
+// accumulators), then seal the record with rec.Finish. A record left
+// unsealed by a nil return is an error; on a non-nil return the record
+// is rolled back so the shard keeps no partial data.
+type ArchivePointFunc func(ctx context.Context, i int, params []float64, rec *archive.RecordWriter) error
+
+// RunArchive evaluates a generated sweep in archive mode: point i's
+// parameter vector comes from gen(i) and its full output — sample rows
+// included — is persisted into dir instead of being reduced. It is the
+// disk-backed counterpart of RunReduce for sweeps whose per-point
+// trajectories must survive for post-hoc analysis.
+//
+// Each worker owns one shard file, so record writes are lock-free; a
+// shard becomes visible under its final name only through an atomic
+// rename when it is sealed, so an interrupted run leaves complete
+// shards plus ignorable *.tmp litter (removed on the next call).
+// RunArchive is resumable: it scans the completed shards already in dir
+// and skips their point indices, so re-running after a crash or cancel
+// archives exactly the missing points. Record payloads depend only on
+// (i, params, fn), not on worker count or shard layout, so a resumed
+// archive is bitwise-identical record-for-record to an uninterrupted
+// one.
+//
+// Cancellation and errors follow RunReduce: the first genuine point
+// error cancels the sweep and is reported deterministically (echoes of
+// the cancellation never win), an externally canceled run returns
+// ctx.Err(). Either way every worker rolls back its in-progress record
+// and seals (or, when empty, removes) its shard — no truncated files
+// are left behind.
+func RunArchive(ctx context.Context, dir string, n, workers int, gen func(i int) []float64, fn ArchivePointFunc) (ArchiveStats, error) {
+	var stats ArchiveStats
+	if fn == nil {
+		return stats, errors.New("sweep: nil point function")
+	}
+	if gen == nil {
+		return stats, errors.New("sweep: nil point generator")
+	}
+	if dir == "" {
+		return stats, errors.New("sweep: empty archive directory")
+	}
+	if n <= 0 {
+		return stats, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return stats, fmt.Errorf("sweep: %w", err)
+	}
+	// Crash litter: in-progress shards of a previous run that never
+	// reached their atomic rename. Their points were never marked done,
+	// so removing them loses nothing.
+	tmps, err := filepath.Glob(archive.TmpPattern(dir))
+	if err != nil {
+		return stats, fmt.Errorf("sweep: %w", err)
+	}
+	for _, tmp := range tmps {
+		if err := os.Remove(tmp); err != nil {
+			return stats, fmt.Errorf("sweep: removing stale %s: %w", tmp, err)
+		}
+	}
+	// Resume: collect the indices already archived by completed shards.
+	done := make(map[int]bool)
+	prev, err := archive.OpenDir(dir)
+	if err != nil {
+		return stats, fmt.Errorf("sweep: scanning archive for resume: %w", err)
+	}
+	for _, idx := range prev.Indices() {
+		if idx < uint64(n) {
+			done[int(idx)] = true
+		}
+	}
+	prev.Close()
+	stats.Skipped = len(done)
+	remaining := n - stats.Skipped
+	if remaining == 0 {
+		return stats, nil
+	}
+	base, err := archive.NextShard(dir)
+	if err != nil {
+		return stats, fmt.Errorf("sweep: %w", err)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > remaining {
+		workers = remaining
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+	var archived, sealedShards atomic.Int64
+	fail := func(format string, args ...any) {
+		errOnce.Do(func() {
+			firstErr = fmt.Errorf(format, args...)
+			cancel()
+		})
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			aw, err := archive.Create(dir, shard)
+			if err != nil {
+				fail("sweep: creating shard %d: %w", shard, err)
+				return
+			}
+			defer func() {
+				// Seal the shard even when the sweep failed: its records
+				// are complete points, and preserving them is what makes
+				// the next run resume instead of redoing the work. An
+				// empty shard is removed instead.
+				if aw.Len() == 0 {
+					_ = aw.Abort()
+					return
+				}
+				if err := aw.Close(); err != nil {
+					fail("sweep: sealing shard %d: %w", shard, err)
+					return
+				}
+				sealedShards.Add(1)
+			}()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue
+				}
+				if err := archivePoint(ctx, aw, i, gen, fn); err != nil {
+					if !isCancelEcho(ctx, err) {
+						fail("sweep: point %d: %w", i, err)
+					}
+					continue
+				}
+				archived.Add(1)
+			}
+		}(base + w)
+	}
+feed:
+	for i := 0; i < n; i++ {
+		if done[i] {
+			continue
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	stats.Archived = int(archived.Load())
+	stats.Shards = int(sealedShards.Load())
+	if firstErr != nil {
+		return stats, firstErr
+	}
+	return stats, parent.Err()
+}
+
+// archivePoint runs one point against its worker's shard under the
+// standard panic guard. Whatever goes wrong — a gen/fn panic, a point
+// error, an unsealed record — the record is rolled back before the
+// error is returned, so the shard holds only complete records.
+func archivePoint(ctx context.Context, aw *archive.Writer, i int, gen func(int) []float64, fn ArchivePointFunc) (err error) {
+	var rec *archive.RecordWriter
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("worker panicked: %v", r)
+		}
+		if err != nil && rec != nil {
+			if rbErr := aw.Rollback(rec); rbErr != nil {
+				err = errors.Join(err, rbErr)
+			}
+		}
+	}()
+	params := gen(i)
+	rec, err = aw.Begin(uint64(i), params)
+	if err != nil {
+		return err
+	}
+	if err := fn(ctx, i, params, rec); err != nil {
+		return err
+	}
+	if !rec.Sealed() {
+		return errors.New("point function returned without Finish-ing its record")
+	}
+	return nil
+}

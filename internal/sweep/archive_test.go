@@ -1,0 +1,366 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/archive"
+)
+
+// testGen derives a small parameter vector from the point index.
+func testGen(i int) []float64 { return []float64{float64(i), 0.5 * float64(i)} }
+
+// testPoint writes a deterministic synthetic record for point i: a
+// 3-sample, width-2 "trajectory" plus two metrics. Byte-for-byte
+// reproducible, which the resume tests rely on.
+func testPoint(_ context.Context, i int, params []float64, rec *archive.RecordWriter) error {
+	rec.Begin(2, 3)
+	for k := 0; k < 3; k++ {
+		t := float64(k)
+		rec.Sample(t, []float64{params[0] + t, params[1] - t})
+	}
+	return rec.Finish([]float64{float64(i), -float64(i)}, nil)
+}
+
+func mustNoTmpFiles(t *testing.T, dir string) {
+	t.Helper()
+	tmps, err := filepath.Glob(archive.TmpPattern(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Fatalf("truncated shard files left behind: %v", tmps)
+	}
+}
+
+func TestRunArchiveCompletes(t *testing.T) {
+	dir := t.TempDir()
+	const n = 20
+	stats, err := RunArchive(context.Background(), dir, n, 4, testGen, testPoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Archived != n || stats.Skipped != 0 || stats.Shards < 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	mustNoTmpFiles(t, dir)
+	a, err := archive.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.Len() != n {
+		t.Fatalf("archive holds %d points, want %d", a.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		rec, err := a.Read(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Width != 2 || rec.NSamples() != 3 || rec.Params[0] != float64(i) ||
+			rec.Metrics[0] != float64(i) || rec.Row(1)[0] != float64(i)+1 {
+			t.Fatalf("record %d content wrong: %+v", i, rec)
+		}
+	}
+}
+
+// TestRunArchiveResume interrupts a sweep by context cancellation, then
+// resumes it: the second call must skip every archived point, run only
+// the missing ones, and complete the archive.
+func TestRunArchiveResume(t *testing.T) {
+	dir := t.TempDir()
+	const n = 32
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, err := RunArchive(ctx, dir, n, 4, testGen,
+		func(ctx context.Context, i int, params []float64, rec *archive.RecordWriter) error {
+			if ran.Add(1) == 8 {
+				cancel() // simulate the interrupt mid-sweep
+			}
+			return testPoint(ctx, i, params, rec)
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	mustNoTmpFiles(t, dir)
+	a, err := archive.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	already := a.Len()
+	a.Close()
+	if already == 0 || already == n {
+		t.Fatalf("interrupt archived %d of %d points; the test needs a partial archive", already, n)
+	}
+
+	var resumed atomic.Int64
+	stats, err := RunArchive(context.Background(), dir, n, 4, testGen,
+		func(ctx context.Context, i int, params []float64, rec *archive.RecordWriter) error {
+			resumed.Add(1)
+			return testPoint(ctx, i, params, rec)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped != already || stats.Archived != n-already {
+		t.Fatalf("resume stats = %+v, want %d skipped / %d archived", stats, already, n-already)
+	}
+	if int(resumed.Load()) != n-already {
+		t.Fatalf("resume ran %d points, want %d", resumed.Load(), n-already)
+	}
+	a, err = archive.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.Len() != n {
+		t.Fatalf("resumed archive holds %d points, want %d", a.Len(), n)
+	}
+}
+
+// TestRunArchiveResumeBitwiseIdentical is the acceptance pin: an
+// interrupted-then-resumed archive reads back record-for-record
+// bitwise-identical to an uninterrupted one, regardless of worker
+// count and shard layout.
+func TestRunArchiveResumeBitwiseIdentical(t *testing.T) {
+	const n = 24
+	interrupted := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, err := RunArchive(ctx, interrupted, n, 3, testGen,
+		func(ctx context.Context, i int, params []float64, rec *archive.RecordWriter) error {
+			if ran.Add(1) == 6 {
+				cancel()
+			}
+			return testPoint(ctx, i, params, rec)
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := RunArchive(context.Background(), interrupted, n, 5, testGen, testPoint); err != nil {
+		t.Fatal(err)
+	}
+
+	clean := t.TempDir()
+	if _, err := RunArchive(context.Background(), clean, n, 2, testGen, testPoint); err != nil {
+		t.Fatal(err)
+	}
+
+	ai, err := archive.OpenDir(interrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ai.Close()
+	ac, err := archive.OpenDir(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	if ai.Len() != n || ac.Len() != n {
+		t.Fatalf("archives hold %d / %d points, want %d", ai.Len(), ac.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		pi, err1 := ai.ReadRaw(uint64(i))
+		pc, err2 := ac.ReadRaw(uint64(i))
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !bytes.Equal(pi, pc) {
+			t.Fatalf("record %d differs between resumed and uninterrupted archives", i)
+		}
+	}
+}
+
+// TestRunArchiveErrorCleansUp checks the error path: a failing point
+// cancels the sweep, its partial record is rolled back, the workers'
+// shards are sealed (completed points survive for resume), and no
+// *.tmp files remain.
+func TestRunArchiveErrorCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	const n = 16
+	boom := errors.New("boom")
+	_, err := RunArchive(context.Background(), dir, n, 2, testGen,
+		func(ctx context.Context, i int, params []float64, rec *archive.RecordWriter) error {
+			if i == 5 {
+				// Fail after streaming a partial row section: the rollback
+				// must erase it from the shard.
+				rec.Begin(2, 3)
+				rec.Sample(0, []float64{1, 2})
+				return boom
+			}
+			return testPoint(ctx, i, params, rec)
+		})
+	if err == nil || !errors.Is(err, boom) || !strings.Contains(err.Error(), "point 5") {
+		t.Fatalf("err = %v, want point 5: boom", err)
+	}
+	mustNoTmpFiles(t, dir)
+	a, err := archive.OpenDir(dir)
+	if err != nil {
+		t.Fatalf("sealed shards must stay readable after an error: %v", err)
+	}
+	if a.Has(5) {
+		t.Error("failed point must not be archived")
+	}
+	a.Close()
+
+	// The archive resumes cleanly once the point is fixed.
+	stats, err := RunArchive(context.Background(), dir, n, 2, testGen, testPoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped+stats.Archived != n || stats.Archived < 1 {
+		t.Fatalf("resume after error: stats = %+v", stats)
+	}
+}
+
+func TestRunArchivePanicRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	_, err := RunArchive(context.Background(), dir, 8, 2, testGen,
+		func(ctx context.Context, i int, params []float64, rec *archive.RecordWriter) error {
+			if i == 3 {
+				rec.Begin(1, 2)
+				rec.Sample(0, []float64{1})
+				panic("mid-record boom")
+			}
+			return testPoint(ctx, i, params, rec)
+		})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want a surfaced panic", err)
+	}
+	mustNoTmpFiles(t, dir)
+	if a, err := archive.OpenDir(dir); err != nil {
+		t.Fatalf("archive unreadable after panic: %v", err)
+	} else {
+		if a.Has(3) {
+			t.Error("panicked point must not be archived")
+		}
+		a.Close()
+	}
+}
+
+func TestRunArchiveUnsealedRecordIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	_, err := RunArchive(context.Background(), dir, 4, 1, testGen,
+		func(ctx context.Context, i int, params []float64, rec *archive.RecordWriter) error {
+			return nil // never calls Finish
+		})
+	if err == nil || !strings.Contains(err.Error(), "Finish") {
+		t.Fatalf("err = %v, want an unsealed-record error", err)
+	}
+	mustNoTmpFiles(t, dir)
+}
+
+// TestRunArchiveRemovesStaleTmp simulates crash litter: a *.tmp shard
+// from a dead run must be removed and its id reused safely.
+func TestRunArchiveRemovesStaleTmp(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "shard-00000.pom.tmp")
+	if err := os.WriteFile(stale, []byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunArchive(context.Background(), dir, 6, 2, testGen, testPoint); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale tmp shard not removed")
+	}
+	mustNoTmpFiles(t, dir)
+}
+
+func TestRunArchiveValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := RunArchive(context.Background(), dir, 3, 1, nil, testPoint); err == nil {
+		t.Error("want error for nil gen")
+	}
+	if _, err := RunArchive(context.Background(), dir, 3, 1, testGen, nil); err == nil {
+		t.Error("want error for nil fn")
+	}
+	if _, err := RunArchive(context.Background(), "", 3, 1, testGen, testPoint); err == nil {
+		t.Error("want error for empty dir")
+	}
+	if stats, err := RunArchive(context.Background(), dir, 0, 1, testGen, testPoint); err != nil || stats.Archived != 0 {
+		t.Errorf("empty sweep: %+v, %v", stats, err)
+	}
+}
+
+// TestRunReduceRealErrorBeatsCancelEcho is the regression test for the
+// racy cancellation errors: a point failing for a real reason
+// concurrently with the context cancel must be the reported error every
+// time — before the fix, whichever worker first echoed "context
+// canceled" could claim the error slot.
+func TestRunReduceRealErrorBeatsCancelEcho(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		err := RunReduce(ctx, 16, 4,
+			func(i int) int { return i },
+			func(ctx context.Context, p int) (int, error) {
+				if p == 0 {
+					cancel() // the cancel races the real failure below
+					return 0, errors.New("boom")
+				}
+				<-ctx.Done()
+				return 0, ctx.Err()
+			},
+			func(int, int, int) {})
+		if err == nil || !strings.Contains(err.Error(), "point 0") || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("trial %d: err = %v, want the real point-0 failure", trial, err)
+		}
+		cancel()
+	}
+}
+
+// TestRunReduceExternalCancelReturnsCtxErr pins the other half: a sweep
+// canceled purely from outside reports plain context.Canceled, not an
+// arbitrary point's echo of it.
+func TestRunReduceExternalCancelReturnsCtxErr(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		err := RunReduce(ctx, 16, 4,
+			func(i int) int { return i },
+			func(ctx context.Context, p int) (int, error) {
+				cancel()
+				<-ctx.Done()
+				return 0, ctx.Err()
+			},
+			func(int, int, int) {})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("trial %d: err = %v, want context.Canceled", trial, err)
+		}
+		if strings.Contains(err.Error(), "point") {
+			t.Fatalf("trial %d: external cancel attributed to a point: %v", trial, err)
+		}
+		cancel()
+	}
+}
+
+// TestRunExternalCancelDeterministic covers the same property for the
+// slice-based Run.
+func TestRunExternalCancelDeterministic(t *testing.T) {
+	params := make([]int, 16)
+	for i := range params {
+		params[i] = i
+	}
+	for trial := 0; trial < 25; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		_, err := Run(ctx, params, 4,
+			func(ctx context.Context, p int) (int, error) {
+				if p == 0 {
+					cancel()
+					return 0, fmt.Errorf("real failure")
+				}
+				<-ctx.Done()
+				return 0, ctx.Err()
+			})
+		if err == nil || !strings.Contains(err.Error(), "real failure") {
+			t.Fatalf("trial %d: err = %v, want the real point failure", trial, err)
+		}
+		cancel()
+	}
+}

@@ -30,6 +30,13 @@ type Point[P, R any] struct {
 // GOMAXPROCS). The returned slice is ordered like params. The first
 // error cancels outstanding work and is returned alongside the partial
 // results; points that never ran carry ctx.Err().
+//
+// Error reporting is deterministic under cancellation: a point that
+// merely echoes the cancellation (returns ctx.Err() after the context
+// was canceled) never becomes the sweep error, so a genuine point
+// failure racing the cancel is always the one reported, and a sweep
+// canceled from outside reports plain ctx.Err() rather than an
+// arbitrary "point N: context canceled".
 func Run[P, R any](ctx context.Context, params []P, workers int, fn func(ctx context.Context, p P) (R, error)) ([]Point[P, R], error) {
 	if fn == nil {
 		return nil, errors.New("sweep: nil worker function")
@@ -48,6 +55,7 @@ func Run[P, R any](ctx context.Context, params []P, workers int, fn func(ctx con
 		return out, nil
 	}
 
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -68,7 +76,7 @@ func Run[P, R any](ctx context.Context, params []P, workers int, fn func(ctx con
 				r, err := call(ctx, fn, out[i].Param)
 				out[i].Result = r
 				out[i].Err = err
-				if err != nil {
+				if err != nil && !isCancelEcho(ctx, err) {
 					errOnce.Do(func() {
 						firstErr = fmt.Errorf("sweep: point %d: %w", i, err)
 						cancel()
@@ -82,7 +90,21 @@ func Run[P, R any](ctx context.Context, params []P, workers int, fn func(ctx con
 	}
 	close(idx)
 	wg.Wait()
-	return out, firstErr
+	if firstErr != nil {
+		return out, firstErr
+	}
+	return out, parent.Err()
+}
+
+// isCancelEcho reports whether err is just the sweep's own cancellation
+// reflected back by a worker: a context error returned after ctx was
+// already canceled. Such echoes are racy in which point surfaces them
+// first, so they are never promoted to the sweep error; a context error
+// returned while ctx is still live is a genuine point failure (e.g. the
+// point's own deadline) and is reported normally.
+func isCancelEcho(ctx context.Context, err error) bool {
+	return (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) &&
+		ctx.Err() != nil
 }
 
 // call invokes fn with a panic guard: a panicking point surfaces as a
@@ -109,7 +131,10 @@ func call[P, R any](ctx context.Context, fn func(context.Context, P) (R, error),
 // in completion order; use the point index to place order-sensitive
 // output. The first error (including a recovered worker panic) cancels
 // outstanding work, and points canceled before running are never reported
-// to reduce.
+// to reduce. Like Run, cancellation echoes from workers are never
+// promoted to the sweep error: a genuine point failure racing an
+// external cancel is reported deterministically, and a purely external
+// cancel returns plain ctx.Err().
 func RunReduce[P, R any](ctx context.Context, n, workers int, gen func(i int) P, fn func(ctx context.Context, p P) (R, error), reduce func(i int, p P, r R)) error {
 	if fn == nil {
 		return errors.New("sweep: nil worker function")
@@ -127,6 +152,7 @@ func RunReduce[P, R any](ctx context.Context, n, workers int, gen func(i int) P,
 		workers = n
 	}
 
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -148,7 +174,7 @@ func RunReduce[P, R any](ctx context.Context, n, workers int, gen func(i int) P,
 				if err == nil && reduce != nil {
 					err = callReduce(&mu, reduce, i, p, r)
 				}
-				if err != nil {
+				if err != nil && !isCancelEcho(ctx, err) {
 					errOnce.Do(func() {
 						firstErr = fmt.Errorf("sweep: point %d: %w", i, err)
 						cancel()
@@ -170,7 +196,7 @@ feed:
 	if firstErr != nil {
 		return firstErr
 	}
-	return ctx.Err()
+	return parent.Err()
 }
 
 // callReduce runs the reduction for one completed point under the mutex,

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary encoding of a Trace, used to embed traces in archive records
+// (internal/archive). Floats are stored as raw IEEE-754 bits, so a
+// round trip is bitwise-exact — unlike the diff-friendly CSV form,
+// which goes through decimal formatting. Layout (little-endian):
+//
+//	nRanks u32
+//	per rank: nSpans u32 · (kind u8 · start f64 · end f64)×nSpans
+//	per rank: nIters u32 · f64×nIters
+//	end f64
+
+// AppendBinary appends the binary encoding of the trace to buf and
+// returns the extended slice.
+func (t *Trace) AppendBinary(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.N()))
+	for _, spans := range t.Spans {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(spans)))
+		for _, s := range spans {
+			buf = append(buf, byte(s.Kind))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.Start))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.End))
+		}
+	}
+	for _, ends := range t.IterEnds {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ends)))
+		for _, ts := range ends {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(ts))
+		}
+	}
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.End))
+}
+
+// DecodeBinary parses a trace encoded by AppendBinary. Corrupt input —
+// truncated sections, impossible counts, unknown span kinds — returns
+// an error, never a panic.
+func DecodeBinary(b []byte) (*Trace, error) {
+	off := 0
+	u32 := func(what string) (uint32, error) {
+		if off+4 > len(b) {
+			return 0, fmt.Errorf("trace: truncated binary trace reading %s", what)
+		}
+		v := binary.LittleEndian.Uint32(b[off:])
+		off += 4
+		return v, nil
+	}
+	f64 := func(what string) (float64, error) {
+		if off+8 > len(b) {
+			return 0, fmt.Errorf("trace: truncated binary trace reading %s", what)
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+		return v, nil
+	}
+	nRanks, err := u32("rank count")
+	if err != nil {
+		return nil, err
+	}
+	// Each rank needs at least its two count words; reject counts that
+	// could not fit in the remaining bytes before allocating.
+	if int(nRanks) > len(b)/8+1 {
+		return nil, fmt.Errorf("trace: rank count %d exceeds payload", nRanks)
+	}
+	t := NewTrace(int(nRanks))
+	for r := 0; r < int(nRanks); r++ {
+		nSpans, err := u32("span count")
+		if err != nil {
+			return nil, err
+		}
+		if off+17*int(nSpans) > len(b) {
+			return nil, fmt.Errorf("trace: rank %d span count %d exceeds payload", r, nSpans)
+		}
+		if nSpans > 0 {
+			t.Spans[r] = make([]Span, nSpans)
+		}
+		for k := range t.Spans[r] {
+			kind := b[off]
+			off++
+			if kind != byte(SpanCompute) && kind != byte(SpanComm) {
+				return nil, fmt.Errorf("trace: rank %d span %d: unknown kind %d", r, k, kind)
+			}
+			start, err1 := f64("span start")
+			end, err2 := f64("span end")
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("trace: truncated binary trace in rank %d spans", r)
+			}
+			t.Spans[r][k] = Span{Kind: SpanKind(kind), Start: start, End: end}
+		}
+	}
+	for r := 0; r < int(nRanks); r++ {
+		nIters, err := u32("iteration count")
+		if err != nil {
+			return nil, err
+		}
+		if off+8*int(nIters) > len(b) {
+			return nil, fmt.Errorf("trace: rank %d iteration count %d exceeds payload", r, nIters)
+		}
+		if nIters > 0 {
+			t.IterEnds[r] = make([]float64, nIters)
+		}
+		for k := range t.IterEnds[r] {
+			ts, err := f64("iteration mark")
+			if err != nil {
+				return nil, err
+			}
+			t.IterEnds[r][k] = ts
+		}
+	}
+	if t.End, err = f64("makespan"); err != nil {
+		return nil, err
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("trace: %d trailing bytes after binary trace", len(b)-off)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

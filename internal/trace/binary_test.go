@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randTrace builds a random but structurally valid trace: per rank,
+// contiguous alternating spans and increasing iteration marks.
+func randTrace(rng *rand.Rand) *Trace {
+	n := 1 + rng.Intn(5)
+	t := NewTrace(n)
+	for r := 0; r < n; r++ {
+		at := rng.Float64()
+		kind := SpanKind(rng.Intn(2))
+		for s := 0; s < rng.Intn(6); s++ {
+			d := 0.1 + rng.Float64()
+			t.Record(r, kind, at, at+d)
+			at += d
+			kind = 1 - kind // alternate so Record never merges
+		}
+		mark := rng.Float64()
+		for k := 0; k < rng.Intn(4); k++ {
+			mark += rng.Float64()
+			t.MarkIterEnd(r, mark)
+		}
+	}
+	return t
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		orig := randTrace(rng)
+		back, err := DecodeBinary(orig.AppendBinary(nil))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(orig, back) {
+			t.Fatalf("trial %d: round trip changed the trace:\n%+v\nvs\n%+v", trial, orig, back)
+		}
+	}
+}
+
+func TestBinaryRoundTripExactFloats(t *testing.T) {
+	orig := NewTrace(1)
+	start := math.Nextafter(1.0/3.0, 1) // not representable in short decimal
+	orig.Record(0, SpanCompute, start, start+math.Pi)
+	orig.MarkIterEnd(0, start+math.Pi)
+	back, err := DecodeBinary(orig.AppendBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Spans[0][0]; math.Float64bits(got.Start) != math.Float64bits(start) ||
+		math.Float64bits(got.End) != math.Float64bits(start+math.Pi) {
+		t.Errorf("span floats not bitwise-preserved: %+v", got)
+	}
+}
+
+// TestDecodeBinaryCorrupt feeds truncations and mutations of a valid
+// encoding to the decoder: every damaged input must error, never panic.
+func TestDecodeBinaryCorrupt(t *testing.T) {
+	orig := randTrace(rand.New(rand.NewSource(3)))
+	good := orig.AppendBinary(nil)
+	if _, err := DecodeBinary(good); err != nil {
+		t.Fatalf("control decode failed: %v", err)
+	}
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := DecodeBinary(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(good))
+		}
+	}
+	if _, err := DecodeBinary(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	// A huge rank count must be rejected before allocation.
+	huge := append([]byte{0xff, 0xff, 0xff, 0x7f}, good[4:]...)
+	if _, err := DecodeBinary(huge); err == nil {
+		t.Error("oversized rank count accepted")
+	}
+}

@@ -77,6 +77,9 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: bad rank %q: %w", row[1], err)
 		}
+		if rank < 0 {
+			return nil, fmt.Errorf("trace: negative rank %d", rank)
+		}
 		if rank > maxRank {
 			maxRank = rank
 		}

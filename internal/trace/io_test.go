@@ -86,3 +86,23 @@ func TestReadCSVErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestReadCSVNegativeRank is the regression test for the negative-rank
+// panic: a row with rank -1 alongside a valid rank passed the first-pass
+// scan (only the maximum rank was tracked) and then indexed t.Spans[-1]
+// in the second pass. It must be rejected with an error, not a panic.
+func TestReadCSVNegativeRank(t *testing.T) {
+	cases := []struct {
+		name, data string
+	}{
+		{"negative span rank", "record,rank,a,b,c\nspan,0,compute,0,1\nspan,-1,comm,0,1\n"},
+		{"negative iter rank", "record,rank,a,b,c\nspan,0,compute,0,1\niter,-3,0,1,\n"},
+		{"all ranks negative", "record,rank,a,b,c\nspan,-1,compute,0,1\n"},
+	}
+	for _, c := range cases {
+		tr, err := ReadCSV(strings.NewReader(c.data))
+		if err == nil {
+			t.Errorf("%s: want error, got trace with %d ranks", c.name, tr.N())
+		}
+	}
+}
