@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/potential"
 	"repro/internal/scenario"
+	"repro/internal/sim"
 	"repro/internal/viz"
 )
 
@@ -128,6 +129,17 @@ func main() {
 		return
 	}
 
+	// Non-POM families (a -config scenario with "family": "kuramoto" or
+	// "continuum") run through the unified sim runtime: streamed
+	// accumulators, optional archiving — the same stack, any model.
+	if fam := spec.Family; fam != "" && fam != "pom" {
+		if *svgDir != "" {
+			log.Fatalf("-svg is POM-only; family %q runs in streaming mode", fam)
+		}
+		reportFamily(spec, *archDir)
+		return
+	}
+
 	cfg, runEnd, runSamples, err := spec.Build()
 	if err != nil {
 		log.Fatal(err)
@@ -148,6 +160,92 @@ func main() {
 		log.Fatal(err)
 	}
 	report(spec, m, res, *svgDir, *quiet)
+}
+
+// openArchiveRecord opens a new shard of the archive at archDir and
+// begins its single record with the given parameter vector, using the
+// shard id as the point index so successive pomsim invocations
+// accumulate in one directory. Any failure is fatal (CLI context).
+func openArchiveRecord(archDir string, params []float64) (*archive.Writer, *archive.RecordWriter) {
+	shard, err := archive.NextShard(archDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aw, err := archive.Create(archDir, shard)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := aw.Begin(uint64(shard), params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return aw, rec
+}
+
+// sealArchiveRecord finishes the record with the summary-metric vector
+// (core.Summary.Vector layout) and seals the shard.
+func sealArchiveRecord(aw *archive.Writer, rec *archive.RecordWriter, metrics []float64, nSamples int) {
+	if err := rec.Finish(metrics, nil); err != nil {
+		log.Fatal(err)
+	}
+	if err := aw.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("archived %d sample rows to %s (point %d)\n", nSamples, aw.Path(), rec.Index())
+}
+
+// reportFamily runs a non-POM scenario through the unified runtime: the
+// spec builds into a sim.System via the family registry, the sample rows
+// stream through the shared accumulator set, and — with a non-empty
+// archDir — into a new shard of the disk-backed archive, exactly like a
+// POM streaming run. Only O(N) accumulator state is ever retained.
+func reportFamily(spec *scenario.Spec, archDir string) {
+	sys, tEnd, nSamples, err := spec.BuildSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var aw *archive.Writer
+	var rec *archive.RecordWriter
+	var extra []sim.Sink
+	if archDir != "" {
+		// The params vector carries the run controls plus the family's
+		// physical parameters, so archived trajectories can be tied back
+		// to the configuration that produced them (the POM path archives
+		// [N, TEnd, nSamples, Sigma] the same way).
+		params := []float64{float64(sys.Dim()), tEnd, float64(nSamples)}
+		switch {
+		case spec.Kuramoto != nil:
+			k := spec.Kuramoto
+			params = append(params, k.K, k.FreqMean, k.FreqStd, float64(k.Seed))
+		case spec.Continuum != nil:
+			c := spec.Continuum
+			params = append(params, c.K, c.A, c.Potential.Sigma)
+		}
+		aw, rec = openArchiveRecord(archDir, params)
+		extra = append(extra, rec)
+	}
+
+	sum, err := sim.RunSummaryTo(sys, tEnd, nSamples, 0.1, 0.15, extra...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rec != nil {
+		sealArchiveRecord(aw, rec, sum.Vector(), nSamples)
+	}
+
+	fmt.Printf("%s run (unified runtime, streaming): %s  dim=%d t_end=%g samples=%d\n",
+		spec.Family, spec.Name, sys.Dim(), tEnd, nSamples)
+	fmt.Printf("solver: %s\n", sum.Stats)
+	fmt.Printf("asymptotic spread: %.4f rad   max spread: %.4f rad\n",
+		sum.AsymptoticSpread, sum.MaxSpread)
+	fmt.Printf("order parameter: final %.4f   min %.4f\n", sum.FinalOrder, sum.MinOrder)
+	if sum.Resynced {
+		fmt.Printf("resynchronized at t = %.2f\n", sum.ResyncTime)
+	} else {
+		fmt.Println("no resynchronization (broken-symmetry or incoherent state)")
+		fmt.Printf("mean |adjacent gap| = %.4f\n", sum.MeanAbsGap)
+	}
 }
 
 // reportStream integrates in streaming mode: the sample rows flow through
@@ -179,19 +277,9 @@ func reportStream(spec *scenario.Spec, m *core.Model, tEnd float64, nSamples int
 	var rec *archive.RecordWriter
 	order := &core.OrderAccumulator{}
 	if archDir != "" {
-		shard, err := archive.NextShard(archDir)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if aw, err = archive.Create(archDir, shard); err != nil {
-			log.Fatal(err)
-		}
-		rec, err = aw.Begin(uint64(shard), []float64{
+		aw, rec = openArchiveRecord(archDir, []float64{
 			float64(spec.N), spec.TEnd, float64(nSamples), spec.Potential.Sigma,
 		})
-		if err != nil {
-			log.Fatal(err)
-		}
 		// The order accumulator completes the standard Summary metric
 		// set, so the archived vector matches the layout sweep-written
 		// records use (core.Summary.Vector).
@@ -215,13 +303,7 @@ func reportStream(spec *scenario.Spec, m *core.Model, tEnd float64, nSamples int
 		if rt, err := resync.ResyncTime(); err == nil {
 			sum.Resynced, sum.ResyncTime = true, rt
 		}
-		if err := rec.Finish(sum.Vector(), nil); err != nil {
-			log.Fatal(err)
-		}
-		if err := aw.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("archived %d sample rows to %s (point %d)\n", nSamples, aw.Path(), rec.Index())
+		sealArchiveRecord(aw, rec, sum.Vector(), nSamples)
 	}
 
 	fmt.Printf("POM run (streaming): %s  N=%d potential=%s offsets=%v v_p=%.3g coupling=%.3g\n",

@@ -23,15 +23,23 @@
 // Two right-hand sides are provided: Linear (the leading-order PDE) and
 // Nonlinear (the full finite-difference flux, which remains well-posed in
 // the anti-diffusive regime because the potential saturates).
+//
+// A Field bound to an initial state (Field.System) implements sim.System,
+// so continuum relaxation studies route through the same unified runtime
+// as the discrete models: SolveStream drives the shared accumulator
+// sinks, and the sweep/archive machinery works over continuum points
+// unchanged.
 package continuum
 
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/mathx"
 	"repro/internal/ode"
 	"repro/internal/potential"
+	"repro/internal/sim"
 )
 
 // Grid is a uniform 1-D spatial grid.
@@ -51,8 +59,10 @@ func (g Grid) Validate() error {
 	if g.M < 3 {
 		return errors.New("continuum: need at least 3 grid points")
 	}
-	if g.A <= 0 {
-		return errors.New("continuum: lattice spacing must be positive")
+	// NaN fails the <= comparison, so check it explicitly: a NaN spacing
+	// would silently poison every coordinate and the diffusivity.
+	if !(g.A > 0) || math.IsInf(g.A, 0) {
+		return fmt.Errorf("continuum: lattice spacing must be positive and finite, got %v", g.A)
 	}
 	return nil
 }
@@ -141,9 +151,17 @@ type Result struct {
 	Stats ode.Stats
 }
 
-// Solve integrates the field from theta0 over [0, tEnd] with nSamples
-// uniform output samples.
-func (f *Field) Solve(theta0 []float64, tEnd float64, nSamples int) (*Result, error) {
+// FieldSystem is a Field bound to an initial state — the sim.System view
+// of the continuum model that Solve, SolveStream, and the scenario
+// registry integrate through the unified runtime.
+type FieldSystem struct {
+	f      *Field
+	theta0 []float64
+}
+
+// System validates the field configuration and binds it to theta0,
+// returning the sim.System the unified runtime integrates.
+func (f *Field) System(theta0 []float64) (*FieldSystem, error) {
 	if err := f.Grid.Validate(); err != nil {
 		return nil, err
 	}
@@ -153,36 +171,62 @@ func (f *Field) Solve(theta0 []float64, tEnd float64, nSamples int) (*Result, er
 	if f.K < 0 {
 		return nil, errors.New("continuum: negative coupling")
 	}
+	// A NaN/Inf coupling passes the sign check but produces a NaN field on
+	// the very first right-hand-side call; reject it at the boundary.
+	if math.IsNaN(f.K) || math.IsInf(f.K, 0) {
+		return nil, fmt.Errorf("continuum: non-finite coupling %v", f.K)
+	}
 	if len(theta0) != f.Grid.M {
 		return nil, fmt.Errorf("continuum: theta0 has %d points, grid %d", len(theta0), f.Grid.M)
+	}
+	return &FieldSystem{f: f, theta0: append([]float64(nil), theta0...)}, nil
+}
+
+// Dim implements sim.System.
+func (s *FieldSystem) Dim() int { return s.f.Grid.M }
+
+// InitialState implements sim.System.
+func (s *FieldSystem) InitialState() []float64 { return s.theta0 }
+
+// Eval implements sim.System.
+func (s *FieldSystem) Eval(t float64, y, dydt []float64) { s.f.rhs(t, y, dydt) }
+
+// Solver implements sim.Tuned. Diffusion stability is handled by the
+// error controller, but the step is capped against frozen-noise-style ω
+// fields just as the discrete model does.
+func (s *FieldSystem) Solver() sim.Solver {
+	return sim.Solver{Atol: s.f.Atol, Rtol: s.f.Rtol, Hmax: 0.25}
+}
+
+// Solve integrates the field from theta0 over [0, tEnd] with nSamples
+// uniform output samples through the unified sim runtime.
+func (f *Field) Solve(theta0 []float64, tEnd float64, nSamples int) (*Result, error) {
+	sys, err := f.System(theta0)
+	if err != nil {
+		return nil, err
 	}
 	if tEnd <= 0 {
 		return nil, errors.New("continuum: tEnd must be positive")
 	}
-	if nSamples < 2 {
-		nSamples = 2
-	}
-	atol, rtol := f.Atol, f.Rtol
-	if atol == 0 {
-		atol = 1e-8
-	}
-	if rtol == 0 {
-		rtol = 1e-6
-	}
-	solver := ode.NewDOPRI5(atol, rtol)
-	// Diffusion stability is handled by the error controller, but cap the
-	// step against frozen-noise-style ω fields just as the discrete model
-	// does.
-	solver.Hmax = 0.25
-	res, err := solver.Solve(
-		func(t float64, y, dy []float64) { f.rhs(t, y, dy) },
-		theta0, 0, tEnd,
-		ode.SolveOptions{SampleTs: mathx.Linspace(0, tEnd, nSamples)},
-	)
+	res, err := sim.Run(sys, tEnd, nSamples)
 	if err != nil {
 		return nil, fmt.Errorf("continuum: %w", err)
 	}
 	return &Result{Grid: f.Grid, Ts: res.Ts, Theta: res.Ys, Stats: res.Stats}, nil
+}
+
+// SolveStream integrates like Solve but emits the sample rows to sink
+// instead of materializing them — the constant-memory path continuum
+// relaxation sweeps pair with the shared accumulator sinks.
+func (f *Field) SolveStream(theta0 []float64, tEnd float64, nSamples int, sink sim.Sink) (ode.Stats, error) {
+	sys, err := f.System(theta0)
+	if err != nil {
+		return ode.Stats{}, err
+	}
+	if tEnd <= 0 {
+		return ode.Stats{}, errors.New("continuum: tEnd must be positive")
+	}
+	return sim.RunStream(sys, tEnd, nSamples, sink)
 }
 
 // Lag returns ω̄·t − θ(x, t) at sample k for the constant-ω case: the

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mathx"
 	"repro/internal/potential"
+	"repro/internal/sim"
 )
 
 func TestGridValidation(t *testing.T) {
@@ -215,5 +216,70 @@ func TestOmegaFieldInjectsDelay(t *testing.T) {
 	lag := res.Lag(len(res.Ts)-1, mathx.TwoPi)
 	if lag[16] <= lag[0] {
 		t.Errorf("slow region lag %v not above far-field %v", lag[16], lag[0])
+	}
+}
+
+// TestValidationRejectsNonFinite is the regression test for the
+// input-validation hole: a NaN lattice spacing or a NaN/Inf coupling
+// passed every sign check before the fix and produced a silently
+// poisoned field (NaN coordinates, NaN flux) instead of an error.
+func TestValidationRejectsNonFinite(t *testing.T) {
+	if err := (Grid{M: 10, A: math.NaN()}).Validate(); err == nil {
+		t.Error("want error for NaN lattice spacing")
+	}
+	if err := (Grid{M: 10, A: math.Inf(1)}).Validate(); err == nil {
+		t.Error("want error for infinite lattice spacing")
+	}
+	g := Grid{M: 8, A: 1}
+	for _, k := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		f := Field{Grid: g, Potential: potential.Tanh{}, K: k}
+		if _, err := f.Solve(make([]float64, 8), 1, 5); err == nil {
+			t.Errorf("want error for coupling %v", k)
+		}
+	}
+}
+
+// TestSolveStreamMatchesSolve pins the unified-runtime port: the rows
+// streamed through sim.RunStream are bit-for-bit the rows Solve
+// materializes, and the shared SpreadAccumulator timeline reproduces
+// SpreadTimeline exactly.
+func TestSolveStreamMatchesSolve(t *testing.T) {
+	g := Grid{M: 24, A: 1, Periodic: true}
+	f := Field{Grid: g, Potential: potential.Tanh{}, K: 2, Linear: true}
+	theta0 := make([]float64, g.M)
+	for i := range theta0 {
+		theta0[i] = math.Sin(2 * math.Pi * float64(i) / float64(g.M))
+	}
+	res, err := f.Solve(theta0, 12, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := &sim.SpreadAccumulator{KeepTimeline: true}
+	k := 0
+	_, err = f.SolveStream(theta0, 12, 25, sim.Tee(spread, sim.SinkFunc(func(tt float64, y []float64) {
+		if math.Float64bits(tt) != math.Float64bits(res.Ts[k]) {
+			t.Fatalf("sample %d time %v differs from materialized %v", k, tt, res.Ts[k])
+		}
+		for i := range y {
+			if math.Float64bits(y[i]) != math.Float64bits(res.Theta[k][i]) {
+				t.Fatalf("sample %d component %d differs", k, i)
+			}
+		}
+		k++
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != len(res.Ts) {
+		t.Fatalf("streamed %d rows, materialized %d", k, len(res.Ts))
+	}
+	want := res.SpreadTimeline()
+	if len(spread.Timeline) != len(want) {
+		t.Fatalf("spread timeline %d entries, want %d", len(spread.Timeline), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(spread.Timeline[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("spread[%d] differs: %v vs %v", i, spread.Timeline[i], want[i])
+		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/noise"
 	"repro/internal/ode"
 	"repro/internal/potential"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -114,12 +115,12 @@ type Model struct {
 	rows  []int32 // rows[p] = owning oscillator of edge p (gather loop)
 
 	// Parallel dispatch (Workers > 1): nw fixed chunk bounds over
-	// oscillator rows and a lazily started persistent worker pool. The
-	// per-call arguments are staged in cur* fields so dispatch sends only
-	// a chunk index over a channel.
+	// oscillator rows — balanced by nonzeros per row (sim.WeightedChunks
+	// over the CSR RowPtr), so irregular topologies load workers evenly —
+	// and a persistent sim.Runner pool. The per-call arguments are staged
+	// in cur* fields so dispatch sends only a chunk index over a channel.
 	nw      int
-	bounds  []int
-	pool    *rhsPool
+	runner  *sim.Runner
 	curT    float64
 	curY    []float64
 	curDydt []float64
@@ -178,10 +179,15 @@ func New(cfg Config) (*Model, error) {
 		m.nw = cfg.N
 	}
 	if m.nw > 1 {
-		m.bounds = make([]int, m.nw+1)
-		for c := 0; c <= m.nw; c++ {
-			m.bounds[c] = c * cfg.N / m.nw
-		}
+		// Chunk rows by nonzero count, not row count: on irregular
+		// topologies (hubs, power-law stencils) even row chunks would give
+		// one worker most of the edges. Any contiguous chunking yields
+		// bit-for-bit the serial result (disjoint dydt/dbuf ranges,
+		// per-row accumulation order fixed), so balance is free.
+		m.runner = sim.NewRunner(
+			sim.WeightedChunks(m.flat.RowPtr, m.nw),
+			func(lo, hi int) { m.rhsRange(m.curT, m.curY, m.curDydt, lo, hi) },
+		)
 	}
 	return m, nil
 }
@@ -262,11 +268,20 @@ func (m *Model) rhs(t float64, y []float64, past ode.Past, dydt []float64) {
 	}
 	if m.nw > 1 {
 		m.curT, m.curY, m.curDydt = t, y, dydt
-		m.ensurePool().run()
+		m.runner.Run()
 		m.curY, m.curDydt = nil, nil
 		return
 	}
 	m.rhsRange(t, y, dydt, 0, m.cfg.N)
+}
+
+// Close stops the worker goroutines of a Workers > 1 model. It is safe to
+// call on any model (serial models have no pool) and the pool restarts
+// transparently if the model is used again afterwards.
+func (m *Model) Close() {
+	if m.runner != nil {
+		m.runner.Close()
+	}
 }
 
 // EvalRHS evaluates the delay-free Eq. (2) right-hand side at time t into
@@ -341,96 +356,68 @@ type Result struct {
 	Model *Model
 }
 
+// The solver loop, sample-plan machinery, and sink protocol live in the
+// shared sim runtime; Model participates by implementing sim.System (plus
+// the Delayed, Tuned, and Releaser extensions). Run, RunStream, and
+// RunSummary are thin shims over sim.Run / sim.RunStream and produce
+// bit-for-bit the output the pre-sim bespoke loop produced.
+
+// Dim implements sim.System.
+func (m *Model) Dim() int { return m.cfg.N }
+
+// InitialState implements sim.System: θ(0) under the configured initial
+// condition.
+func (m *Model) InitialState() []float64 { return m.initialState() }
+
+// Eval implements sim.System: the delay-free Eq. (2) right-hand side.
+func (m *Model) Eval(t float64, y, dydt []float64) { m.rhs(t, y, nil, dydt) }
+
+// EvalDelayed implements sim.Delayed: partner phases older than t are
+// read from the dense-output history.
+func (m *Model) EvalDelayed(t float64, y []float64, past ode.Past, dydt []float64) {
+	m.rhs(t, y, past, dydt)
+}
+
+// MaxDelay implements sim.Delayed; a positive bound routes the
+// integration through the DDE driver.
+func (m *Model) MaxDelay() float64 {
+	if m.cfg.InteractionNoise == nil {
+		return 0
+	}
+	return m.cfg.InteractionNoise.Max()
+}
+
+// Solver implements sim.Tuned. The step is capped at a quarter period:
+// the noise channels are piecewise-constant on cells of about one
+// period, and an unconstrained controller would otherwise grow the step
+// so large in quiescent phases that a one-off delay window falls between
+// stage evaluations and is silently skipped.
+func (m *Model) Solver() sim.Solver {
+	return sim.Solver{Atol: m.cfg.Atol, Rtol: m.cfg.Rtol, Hmax: 0.25 * m.period}
+}
+
+// Release implements sim.Releaser: the worker pool restarts lazily on
+// the next parallel rhs call, so releasing it after every run means a
+// Model dropped after Run leaks no goroutines even without an explicit
+// Close (sweeps build thousands of models). Direct EvalRHS users keep
+// the pool across calls and own the Close.
+func (m *Model) Release() {
+	if m.nw > 1 {
+		m.Close()
+	}
+}
+
 // Run integrates the model from t = 0 to tEnd, sampling nSamples points
 // uniformly (including both endpoints).
 func (m *Model) Run(tEnd float64, nSamples int) (*Result, error) {
-	res, err := m.integrate(tEnd, nSamples, nil)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Ts: res.Ts, Theta: res.Ys, Stats: res.Stats, Model: m}, nil
-}
-
-// integrate runs the solver over [0, tEnd] with nSamples uniform samples.
-// A nil sample callback materializes the trajectory in the result; a
-// non-nil callback receives each row as it is produced (from a reused
-// buffer) and the result carries only the work statistics.
-func (m *Model) integrate(tEnd float64, nSamples int, sample func(t float64, y []float64)) (*ode.Result, error) {
 	if tEnd <= 0 {
 		return nil, errors.New("core: tEnd must be positive")
 	}
-	if nSamples < 2 {
-		nSamples = 2
-	}
-	atol, rtol := m.cfg.Atol, m.cfg.Rtol
-	if atol == 0 {
-		atol = 1e-8
-	}
-	if rtol == 0 {
-		rtol = 1e-6
-	}
-	// The worker pool restarts lazily on the first parallel rhs call, so
-	// releasing it here means a Model dropped after Run leaks no
-	// goroutines even without an explicit Close (sweeps build thousands
-	// of models). Direct EvalRHS users keep the pool across calls and
-	// own the Close.
-	if m.nw > 1 {
-		defer m.Close()
-	}
-	solver := ode.NewDOPRI5(atol, rtol)
-	// Cap the step at a quarter period: the noise channels are
-	// piecewise-constant on cells of about one period, and an
-	// unconstrained controller would otherwise grow the step so large in
-	// quiescent phases that a one-off delay window falls between stage
-	// evaluations and is silently skipped.
-	solver.Hmax = 0.25 * m.period
-	// Materialized runs hand the solver the explicit Linspace grid (it
-	// sizes the output arena); streaming runs use the equivalent virtual
-	// plan so the run allocates nothing proportional to nSamples. The two
-	// produce bitwise-identical sample times.
-	var samples []float64
-	sampleAt := func(k int) float64 { return 0 }
-	if sample == nil {
-		samples = mathx.Linspace(0, tEnd, nSamples)
-	} else {
-		step := tEnd / float64(nSamples-1)
-		last := nSamples - 1
-		sampleAt = func(k int) float64 {
-			if k == last {
-				return tEnd // avoid accumulated rounding, like Linspace
-			}
-			return float64(k) * step
-		}
-	}
-	y0 := m.initialState()
-
-	var res *ode.Result
-	var err error
-	if m.cfg.InteractionNoise != nil && m.cfg.InteractionNoise.Max() > 0 {
-		res, err = solver.SolveDDE(
-			func(t float64, y []float64, past ode.Past, dydt []float64) {
-				m.rhs(t, y, past, dydt)
-			},
-			y0, 0, tEnd,
-			ode.DDEOptions{
-				SampleTs: samples, SampleAt: sampleAt, NSamples: nSamples,
-				SampleFunc: sample, MaxDelay: m.cfg.InteractionNoise.Max(),
-			},
-		)
-	} else {
-		res, err = solver.Solve(
-			func(t float64, y, dydt []float64) { m.rhs(t, y, nil, dydt) },
-			y0, 0, tEnd,
-			ode.SolveOptions{
-				SampleTs: samples, SampleAt: sampleAt, NSamples: nSamples,
-				SampleFunc: sample,
-			},
-		)
-	}
+	res, err := sim.Run(m, tEnd, nSamples)
 	if err != nil {
-		return nil, fmt.Errorf("core: integration failed: %w", err)
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	return res, nil
+	return &Result{Ts: res.Ts, Theta: res.Ys, Stats: res.Stats, Model: m}, nil
 }
 
 // NormalizedPhases returns the paper's standard view (§3.2): θ_i(t) − ω·t,

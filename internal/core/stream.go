@@ -5,53 +5,40 @@ import (
 	"math"
 
 	"repro/internal/ode"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
-// Sink consumes the sample rows of a streaming integration in time order.
-// RunStream drives a sink instead of materializing Result.Theta, so a
-// sweep over many parameter points holds O(N) accumulator state per point
-// rather than a full trajectory — the memory model that makes
-// million-scenario batch sweeps feasible (see PERFORMANCE.md).
-type Sink interface {
-	// Begin is called once before the first sample with the state width n
-	// and the total number of rows the run will emit.
-	Begin(n, nSamples int)
-	// Sample consumes one row: the oscillator phases at time t. theta is
-	// reused between calls and must not be retained.
-	Sample(t float64, theta []float64)
-}
-
-// SinkFunc adapts a plain callback (e.g. a row writer) to the Sink
-// interface with a no-op Begin.
-type SinkFunc func(t float64, theta []float64)
-
-// Begin implements Sink.
-func (SinkFunc) Begin(int, int) {}
-
-// Sample implements Sink.
-func (f SinkFunc) Sample(t float64, theta []float64) { f(t, theta) }
-
-// multiSink fans one sample stream out to several sinks.
-type multiSink []Sink
-
-// Begin implements Sink.
-func (ms multiSink) Begin(n, nSamples int) {
-	for _, s := range ms {
-		s.Begin(n, nSamples)
-	}
-}
-
-// Sample implements Sink.
-func (ms multiSink) Sample(t float64, theta []float64) {
-	for _, s := range ms {
-		s.Sample(t, theta)
-	}
-}
+// The streaming-sink protocol and the generic online accumulators moved
+// to the shared sim runtime (PR 4) so the Kuramoto and continuum
+// families stream through the exact same machinery; the names below are
+// aliases, so every existing caller — and the archive.RecordWriter Sink
+// implementation — keeps compiling and behaving identically. Only the
+// POM-specific WaveDetector stays here (it needs the model's topology
+// and natural frequency).
+type (
+	// Sink consumes the sample rows of a streaming integration in time
+	// order; see sim.Sink.
+	Sink = sim.Sink
+	// SinkFunc adapts a plain callback to the Sink interface.
+	SinkFunc = sim.SinkFunc
+	// SpreadAccumulator computes the phase-spread metrics online.
+	SpreadAccumulator = sim.SpreadAccumulator
+	// OrderAccumulator computes the Kuramoto order parameter online.
+	OrderAccumulator = sim.OrderAccumulator
+	// ResyncDetector finds the resynchronization time online.
+	ResyncDetector = sim.ResyncDetector
+	// GapAccumulator time-averages the adjacent phase gaps online.
+	GapAccumulator = sim.GapAccumulator
+	// LockAccumulator decides asymptotic frequency locking online.
+	LockAccumulator = sim.LockAccumulator
+	// Summary is the O(N) reduction of one streamed run.
+	Summary = sim.Summary
+)
 
 // Tee combines several sinks into one that replays every row to each, in
 // order — the standard way to run multiple accumulators over one pass.
-func Tee(sinks ...Sink) Sink { return multiSink(sinks) }
+func Tee(sinks ...Sink) Sink { return sim.Tee(sinks...) }
 
 // RunStream integrates the model from t = 0 to tEnd like Run, but emits
 // the nSamples uniform sample rows to sink as they are produced instead of
@@ -64,234 +51,26 @@ func (m *Model) RunStream(tEnd float64, nSamples int, sink Sink) (ode.Stats, err
 	if tEnd <= 0 {
 		return ode.Stats{}, errors.New("core: tEnd must be positive")
 	}
-	if nSamples < 2 {
-		nSamples = 2
-	}
-	sink.Begin(m.cfg.N, nSamples)
-	res, err := m.integrate(tEnd, nSamples, sink.Sample)
-	if err != nil {
-		return ode.Stats{}, err
-	}
-	return res.Stats, nil
+	return sim.RunStream(m, tEnd, nSamples, sink)
 }
 
-// finalWindow replicates the asymptotic-window start index used by
-// Result.AsymptoticSpread and Result.AsymptoticGaps: the last
-// finalFraction of n samples, clamped to at least the final sample.
-func finalWindow(n int, finalFraction float64) int {
-	start := n - int(float64(n)*finalFraction)
-	if start < 0 {
-		start = 0
-	}
-	if start >= n {
-		start = n - 1
-	}
-	return start
+// RunSummary streams a run through the standard accumulator set and
+// returns the O(N) summary. resyncEps 0 selects 0.1 and finalFraction 0
+// selects 0.15 — the thresholds the materialized report paths use.
+func (m *Model) RunSummary(tEnd float64, nSamples int, resyncEps, finalFraction float64) (*Summary, error) {
+	return m.RunSummaryTo(tEnd, nSamples, resyncEps, finalFraction)
 }
 
-// SpreadAccumulator computes the phase-spread metrics of a run online:
-// per-sample it evaluates the same stats.PhaseSpread as
-// Result.SpreadTimeline, and its Asymptotic value reproduces
-// Result.AsymptoticSpread bit-for-bit (same additions in the same order).
-type SpreadAccumulator struct {
-	// FinalFraction sets the asymptotic averaging window; 0 means 0.15
-	// (the window the report paths use).
-	FinalFraction float64
-	// KeepTimeline retains the full per-sample spread series in Timeline —
-	// O(nSamples) memory, for plots and the bitwise pinning tests. Leave
-	// false in sweeps.
-	KeepTimeline bool
-	// Timeline is the retained series when KeepTimeline is set.
-	Timeline []float64
-
-	start, k   int
-	sum        float64
-	final, max float64
-}
-
-// Begin implements Sink.
-func (a *SpreadAccumulator) Begin(_, nSamples int) {
-	ff := a.FinalFraction
-	if ff == 0 {
-		ff = 0.15
+// RunSummaryTo is RunSummary with extra sinks teed into the same single
+// pass over the sample stream — the hook archive-mode sweeps use to
+// persist the full trajectory (an archive.RecordWriter is a Sink) while
+// the standard summary accumulates. The extra sinks see exactly the
+// rows the accumulators see, in the same order.
+func (m *Model) RunSummaryTo(tEnd float64, nSamples int, resyncEps, finalFraction float64, extra ...Sink) (*Summary, error) {
+	if tEnd <= 0 {
+		return nil, errors.New("core: tEnd must be positive")
 	}
-	a.start = finalWindow(nSamples, ff)
-	a.k, a.sum, a.final, a.max = 0, 0, 0, 0
-	a.Timeline = a.Timeline[:0]
-}
-
-// Sample implements Sink.
-func (a *SpreadAccumulator) Sample(_ float64, theta []float64) {
-	s := stats.PhaseSpread(theta)
-	if a.KeepTimeline {
-		a.Timeline = append(a.Timeline, s)
-	}
-	if s > a.max {
-		a.max = s
-	}
-	a.final = s
-	if a.k >= a.start {
-		a.sum += s
-	}
-	a.k++
-}
-
-// Final returns the spread at the last sample.
-func (a *SpreadAccumulator) Final() float64 { return a.final }
-
-// Max returns the largest spread seen.
-func (a *SpreadAccumulator) Max() float64 { return a.max }
-
-// Asymptotic returns the mean spread over the final window — equal to
-// Result.AsymptoticSpread(FinalFraction) on the same run.
-func (a *SpreadAccumulator) Asymptotic() float64 {
-	if a.k <= a.start {
-		return 0
-	}
-	return a.sum / float64(a.k-a.start)
-}
-
-// OrderAccumulator computes the Kuramoto order parameter r(t) online —
-// per-sample identical to Result.OrderTimeline.
-type OrderAccumulator struct {
-	// KeepTimeline retains the full r(t) series (see SpreadAccumulator).
-	KeepTimeline bool
-	// Timeline is the retained series when KeepTimeline is set.
-	Timeline []float64
-
-	final, min float64
-	seen       bool
-}
-
-// Begin implements Sink.
-func (a *OrderAccumulator) Begin(int, int) {
-	a.final, a.min, a.seen = 0, math.Inf(1), false
-	a.Timeline = a.Timeline[:0]
-}
-
-// Sample implements Sink.
-func (a *OrderAccumulator) Sample(_ float64, theta []float64) {
-	r, _ := stats.OrderParameter(theta)
-	if a.KeepTimeline {
-		a.Timeline = append(a.Timeline, r)
-	}
-	if r < a.min {
-		a.min = r
-	}
-	a.final = r
-	a.seen = true
-}
-
-// Final returns r at the last sample.
-func (a *OrderAccumulator) Final() float64 { return a.final }
-
-// Min returns the lowest r seen (0 when no samples arrived).
-func (a *OrderAccumulator) Min() float64 {
-	if !a.seen {
-		return 0
-	}
-	return a.min
-}
-
-// ResyncDetector finds the resynchronization time online: the first sample
-// time at which the phase spread drops below Eps and stays below it for
-// the rest of the run — exactly Result.ResyncTime(Eps), computed forward
-// by tracking the start of the current below-Eps run.
-type ResyncDetector struct {
-	// Eps is the spread threshold (the report paths use 0.1).
-	Eps float64
-
-	at   float64
-	have bool
-}
-
-// Begin implements Sink.
-func (d *ResyncDetector) Begin(int, int) { d.have = false }
-
-// Sample implements Sink.
-func (d *ResyncDetector) Sample(t float64, theta []float64) {
-	if stats.PhaseSpread(theta) >= d.Eps {
-		d.have = false
-	} else if !d.have {
-		d.have, d.at = true, t
-	}
-}
-
-// ResyncTime returns the detected resynchronization time, or an error when
-// the system never resynchronized (mirroring Result.ResyncTime).
-func (d *ResyncDetector) ResyncTime() (float64, error) {
-	if !d.have {
-		return 0, errors.New("core: system did not resynchronize")
-	}
-	return d.at, nil
-}
-
-// GapAccumulator time-averages the adjacent phase gaps θ_{i+1} − θ_i over
-// the final window — bit-for-bit Result.AsymptoticGaps(FinalFraction).
-type GapAccumulator struct {
-	// FinalFraction sets the averaging window; 0 means 0.15.
-	FinalFraction float64
-
-	start, k, count int
-	sums            []float64
-}
-
-// Begin implements Sink.
-func (a *GapAccumulator) Begin(n, nSamples int) {
-	ff := a.FinalFraction
-	if ff == 0 {
-		ff = 0.15
-	}
-	a.start = finalWindow(nSamples, ff)
-	a.k, a.count = 0, 0
-	w := n - 1
-	if w < 0 {
-		w = 0
-	}
-	if cap(a.sums) < w {
-		a.sums = make([]float64, w)
-	}
-	a.sums = a.sums[:w]
-	for i := range a.sums {
-		a.sums[i] = 0
-	}
-}
-
-// Sample implements Sink.
-func (a *GapAccumulator) Sample(_ float64, theta []float64) {
-	if a.k >= a.start {
-		for i := 1; i < len(theta) && i-1 < len(a.sums); i++ {
-			a.sums[i-1] += theta[i] - theta[i-1]
-		}
-		a.count++
-	}
-	a.k++
-}
-
-// Gaps returns the time-averaged adjacent gaps over the final window.
-func (a *GapAccumulator) Gaps() []float64 {
-	out := make([]float64, len(a.sums))
-	if a.count == 0 {
-		return out
-	}
-	for i, s := range a.sums {
-		out[i] = s / float64(a.count)
-	}
-	return out
-}
-
-// MeanAbsGap returns the mean |gap| of the averaged gaps, the settled
-// wavefront summary the report paths print.
-func (a *GapAccumulator) MeanAbsGap() float64 {
-	gaps := a.Gaps()
-	if len(gaps) == 0 {
-		return 0
-	}
-	var sum float64
-	for _, g := range gaps {
-		sum += math.Abs(g)
-	}
-	return sum / float64(len(gaps))
+	return sim.RunSummaryTo(m, tEnd, nSamples, resyncEps, finalFraction, extra...)
 }
 
 // WaveDetector measures the idle-wave front launched by a one-off delay
@@ -408,81 +187,4 @@ func (w *WaveDetector) Finish() (WaveFront, error) {
 	wf.SpeedRanksPerPeriod = wf.Speed * w.period
 	wf.R2 = fit.R2
 	return wf, nil
-}
-
-// Summary is the O(N) reduction of one streamed run: everything the batch
-// report paths need, without a single retained trajectory row.
-type Summary struct {
-	// FinalSpread, MaxSpread, and AsymptoticSpread are the phase-spread
-	// metrics (AsymptoticSpread over the final-fraction window).
-	FinalSpread, MaxSpread, AsymptoticSpread float64
-	// FinalOrder and MinOrder are the Kuramoto order-parameter metrics.
-	FinalOrder, MinOrder float64
-	// Resynced reports whether the spread settled below the resync
-	// threshold; ResyncTime is the settling time when it did.
-	Resynced   bool
-	ResyncTime float64
-	// Gaps are the time-averaged adjacent gaps over the final window and
-	// MeanAbsGap their mean magnitude.
-	Gaps       []float64
-	MeanAbsGap float64
-	// Stats reports the solver work.
-	Stats ode.Stats
-}
-
-// RunSummary streams a run through the standard accumulator set and
-// returns the O(N) summary. resyncEps 0 selects 0.1 and finalFraction 0
-// selects 0.15 — the thresholds the materialized report paths use.
-func (m *Model) RunSummary(tEnd float64, nSamples int, resyncEps, finalFraction float64) (*Summary, error) {
-	return m.RunSummaryTo(tEnd, nSamples, resyncEps, finalFraction)
-}
-
-// RunSummaryTo is RunSummary with extra sinks teed into the same single
-// pass over the sample stream — the hook archive-mode sweeps use to
-// persist the full trajectory (an archive.RecordWriter is a Sink) while
-// the standard summary accumulates. The extra sinks see exactly the
-// rows the accumulators see, in the same order.
-func (m *Model) RunSummaryTo(tEnd float64, nSamples int, resyncEps, finalFraction float64, extra ...Sink) (*Summary, error) {
-	if resyncEps == 0 {
-		resyncEps = 0.1
-	}
-	spread := &SpreadAccumulator{FinalFraction: finalFraction}
-	order := &OrderAccumulator{}
-	resync := &ResyncDetector{Eps: resyncEps}
-	gaps := &GapAccumulator{FinalFraction: finalFraction}
-	sinks := append([]Sink{spread, order, resync, gaps}, extra...)
-	st, err := m.RunStream(tEnd, nSamples, Tee(sinks...))
-	if err != nil {
-		return nil, err
-	}
-	sum := &Summary{
-		FinalSpread:      spread.Final(),
-		MaxSpread:        spread.Max(),
-		AsymptoticSpread: spread.Asymptotic(),
-		FinalOrder:       order.Final(),
-		MinOrder:         order.Min(),
-		Gaps:             gaps.Gaps(),
-		MeanAbsGap:       gaps.MeanAbsGap(),
-		Stats:            st,
-	}
-	if rt, err := resync.ResyncTime(); err == nil {
-		sum.Resynced, sum.ResyncTime = true, rt
-	}
-	return sum, nil
-}
-
-// Vector flattens the scalar summary metrics into a fixed-layout float
-// vector — the metrics section of an archive record. The layout is
-// stable: [FinalSpread, MaxSpread, AsymptoticSpread, FinalOrder,
-// MinOrder, resynced (0/1), ResyncTime, MeanAbsGap].
-func (s *Summary) Vector() []float64 {
-	resynced := 0.0
-	if s.Resynced {
-		resynced = 1
-	}
-	return []float64{
-		s.FinalSpread, s.MaxSpread, s.AsymptoticSpread,
-		s.FinalOrder, s.MinOrder,
-		resynced, s.ResyncTime, s.MeanAbsGap,
-	}
 }

@@ -3,7 +3,6 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"math"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -181,7 +180,12 @@ func runFig2MPI(p Fig2Params) (*MPIPanel, error) {
 	return panel, nil
 }
 
-// runFig2Model integrates the matching oscillator model.
+// runFig2Model integrates the matching oscillator model through the
+// unified sim runtime: the trajectory streams once through the shared
+// accumulator sinks (spread, gaps, resync, frequency lock) plus the wave
+// detector, so no Fig. 2 panel ever materializes its 4000-row trajectory.
+// Every metric is pinned bit-for-bit to its materialized counterpart by
+// the core streaming tests.
 func runFig2Model(p Fig2Params) (*ModelPanel, error) {
 	tp, err := topology.Stencil(p.N, p.Offsets, false)
 	if err != nil {
@@ -219,30 +223,32 @@ func runFig2Model(p Fig2Params) (*ModelPanel, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := m.Run(p.Periods*period, int(p.Periods)*10+1)
+	spread := &core.SpreadAccumulator{FinalFraction: 0.15}
+	gaps := &core.GapAccumulator{FinalFraction: 0.15}
+	resync := &core.ResyncDetector{Eps: 0.1}
+	lock := &core.LockAccumulator{FinalFraction: 0.2}
+	wave, err := core.NewWaveDetector(m, p.DelayRank, delayStart, 0.15)
+	if err != nil {
+		return nil, err
+	}
+	_, err = m.RunStream(p.Periods*period, int(p.Periods)*10+1,
+		core.Tee(spread, gaps, resync, lock, wave))
 	if err != nil {
 		return nil, err
 	}
 
 	panel := &ModelPanel{
-		AsymptoticSpread: res.AsymptoticSpread(0.15),
-		FreqLocked:       res.FrequencyLocked(0.2, 1e-2),
+		AsymptoticSpread: spread.Asymptotic(),
+		FreqLocked:       lock.Locked(1e-2),
+		MeanAbsGap:       gaps.MeanAbsGap(),
 	}
 	if a, ok := pot.(potential.Analyzable); ok {
 		panel.StableZero = a.StableZero()
 	}
-	gaps := res.AsymptoticGaps(0.15)
-	var sum float64
-	for _, g := range gaps {
-		sum += math.Abs(g)
-	}
-	if len(gaps) > 0 {
-		panel.MeanAbsGap = sum / float64(len(gaps))
-	}
-	if _, err := res.ResyncTime(0.1); err == nil {
+	if _, err := resync.ResyncTime(); err == nil {
 		panel.Resynced = true
 	}
-	if wf, err := res.MeasureWave(p.DelayRank, delayStart, 0.15); err == nil {
+	if wf, err := wave.Finish(); err == nil {
 		panel.WaveSpeed = wf.SpeedRanksPerPeriod
 		panel.WaveR2 = wf.R2
 	}

@@ -32,7 +32,10 @@ type E7Result struct {
 }
 
 // KuramotoBaseline runs the plain-Kuramoto phenomenology the paper argues
-// cannot describe parallel programs.
+// cannot describe parallel programs. The coupling transition sweeps
+// through the unified sim runtime (kuramoto.SweepCoupling streams each
+// point through the shared OrderAccumulator); only the phase-slip count,
+// which needs the full trajectory, still materializes a run.
 func KuramotoBaseline(ks []float64) (*E7Result, error) {
 	base := kuramoto.Config{N: 150, FreqMean: 0, FreqStd: 1, Seed: 11, SpreadInitial: true}
 	trans, err := kuramoto.SweepCoupling(base, ks, 40)

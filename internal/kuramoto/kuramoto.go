@@ -9,6 +9,11 @@
 // demonstrate §2.2.2's objections quantitatively — global coupling acts
 // like a per-period barrier, phase slips are possible, and spontaneous
 // desynchronization of bottlenecked programs cannot occur.
+//
+// Model implements sim.System, so Kuramoto runs route through the same
+// unified runtime as the POM core: RunStream drives the shared
+// accumulator sinks, and the sweep/archive machinery (sweep.RunReduce,
+// sweep.RunArchive) works over Kuramoto points unchanged.
 package kuramoto
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"repro/internal/mathx"
 	"repro/internal/ode"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -54,6 +60,19 @@ func New(cfg Config) (*Model, error) {
 	if cfg.K < 0 {
 		return nil, errors.New("kuramoto: negative coupling")
 	}
+	// A non-finite coupling or frequency distribution would not fail here
+	// or in New's draws — it would poison the right-hand side and surface
+	// as a solver step-size underflow (or silent NaN phases) deep inside a
+	// sweep. Reject it at the boundary instead.
+	if math.IsNaN(cfg.K) || math.IsInf(cfg.K, 0) {
+		return nil, fmt.Errorf("kuramoto: non-finite coupling %v", cfg.K)
+	}
+	if math.IsNaN(cfg.FreqMean) || math.IsInf(cfg.FreqMean, 0) {
+		return nil, fmt.Errorf("kuramoto: non-finite frequency mean %v", cfg.FreqMean)
+	}
+	if cfg.FreqStd < 0 || math.IsNaN(cfg.FreqStd) || math.IsInf(cfg.FreqStd, 0) {
+		return nil, fmt.Errorf("kuramoto: frequency spread must be finite and nonnegative, got %v", cfg.FreqStd)
+	}
 	rng := stats.NewRNG(cfg.Seed)
 	m := &Model{cfg: cfg}
 	m.omegas = make([]float64, cfg.N)
@@ -81,6 +100,28 @@ func (m *Model) CriticalCoupling() float64 {
 	return m.cfg.FreqStd * math.Sqrt(8/math.Pi)
 }
 
+// Dim implements sim.System.
+func (m *Model) Dim() int { return m.cfg.N }
+
+// InitialState implements sim.System.
+func (m *Model) InitialState() []float64 { return m.theta0 }
+
+// Eval implements sim.System. It uses the order-parameter trick:
+// Σ sin(θ_j − θ_i) = N·r·sin(ψ − θ_i), reducing the cost from O(N²) to
+// O(N) per evaluation.
+func (m *Model) Eval(_ float64, y, dydt []float64) {
+	r, psi := stats.OrderParameter(y)
+	kr := m.cfg.K * r
+	for i := range y {
+		dydt[i] = m.omegas[i] + kr*math.Sin(psi-y[i])
+	}
+}
+
+// Solver implements sim.Tuned.
+func (m *Model) Solver() sim.Solver {
+	return sim.Solver{Atol: m.cfg.Atol, Rtol: m.cfg.Rtol}
+}
+
 // Result is a completed Kuramoto integration.
 type Result struct {
 	Ts    []float64
@@ -88,38 +129,27 @@ type Result struct {
 	Stats ode.Stats
 }
 
-// Run integrates the model to tEnd with nSamples uniform samples. The
-// right-hand side uses the order-parameter trick: Σ sin(θ_j − θ_i) =
-// N·r·sin(ψ − θ_i), reducing the cost from O(N²) to O(N) per evaluation.
+// Run integrates the model to tEnd with nSamples uniform samples through
+// the unified sim runtime.
 func (m *Model) Run(tEnd float64, nSamples int) (*Result, error) {
 	if tEnd <= 0 {
 		return nil, errors.New("kuramoto: tEnd must be positive")
 	}
-	if nSamples < 2 {
-		nSamples = 2
-	}
-	atol, rtol := m.cfg.Atol, m.cfg.Rtol
-	if atol == 0 {
-		atol = 1e-8
-	}
-	if rtol == 0 {
-		rtol = 1e-6
-	}
-	f := func(_ float64, y, dydt []float64) {
-		r, psi := stats.OrderParameter(y)
-		kr := m.cfg.K * r
-		for i := range y {
-			dydt[i] = m.omegas[i] + kr*math.Sin(psi-y[i])
-		}
-	}
-	solver := ode.NewDOPRI5(atol, rtol)
-	res, err := solver.Solve(f, m.theta0, 0, tEnd, ode.SolveOptions{
-		SampleTs: mathx.Linspace(0, tEnd, nSamples),
-	})
+	res, err := sim.Run(m, tEnd, nSamples)
 	if err != nil {
 		return nil, fmt.Errorf("kuramoto: %w", err)
 	}
 	return &Result{Ts: res.Ts, Theta: res.Ys, Stats: res.Stats}, nil
+}
+
+// RunStream integrates like Run but emits the sample rows to sink instead
+// of materializing them — the constant-memory path Kuramoto coupling
+// sweeps pair with the shared accumulator sinks.
+func (m *Model) RunStream(tEnd float64, nSamples int, sink sim.Sink) (ode.Stats, error) {
+	if tEnd <= 0 {
+		return ode.Stats{}, errors.New("kuramoto: tEnd must be positive")
+	}
+	return sim.RunStream(m, tEnd, nSamples, sink)
 }
 
 // OrderTimeline returns r(t) at every sample.
@@ -159,6 +189,10 @@ type SweepPoint struct {
 
 // SweepCoupling measures the asymptotic order parameter across a range of
 // couplings — the classic Kuramoto bifurcation diagram used to place K_c.
+// Each point streams through the shared OrderAccumulator instead of
+// materializing its trajectory, so the sweep holds O(N) state per point;
+// the accumulated r∞ is bit-for-bit AsymptoticOrder(0.25) on the
+// materialized run.
 func SweepCoupling(base Config, ks []float64, tEnd float64) ([]SweepPoint, error) {
 	out := make([]SweepPoint, 0, len(ks))
 	for _, k := range ks {
@@ -168,11 +202,11 @@ func SweepCoupling(base Config, ks []float64, tEnd float64) ([]SweepPoint, error
 		if err != nil {
 			return nil, err
 		}
-		res, err := m.Run(tEnd, 201)
-		if err != nil {
+		order := &sim.OrderAccumulator{FinalFraction: 0.25}
+		if _, err := m.RunStream(tEnd, 201, order); err != nil {
 			return nil, err
 		}
-		out = append(out, SweepPoint{K: k, R: res.AsymptoticOrder(0.25)})
+		out = append(out, SweepPoint{K: k, R: order.Asymptotic()})
 	}
 	return out, nil
 }

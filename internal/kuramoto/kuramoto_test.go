@@ -3,6 +3,8 @@ package kuramoto
 import (
 	"math"
 	"testing"
+
+	"repro/internal/sim"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -127,5 +129,69 @@ func TestOrderTimelineLength(t *testing.T) {
 		if r < 0 || r > 1+1e-9 {
 			t.Fatalf("order parameter out of range: %v", r)
 		}
+	}
+}
+
+// TestNewRejectsNonFiniteParameters is the regression test for the
+// input-validation hole: before the fix a NaN/Inf coupling or frequency
+// parameter sailed through New (NaN fails every sign check) and
+// surfaced as solver underflow or silent NaN phases deep inside a sweep.
+func TestNewRejectsNonFiniteParameters(t *testing.T) {
+	bad := []Config{
+		{N: 5, K: math.NaN()},
+		{N: 5, K: math.Inf(1)},
+		{N: 5, FreqMean: math.NaN()},
+		{N: 5, FreqMean: math.Inf(-1)},
+		{N: 5, FreqStd: math.NaN()},
+		{N: 5, FreqStd: math.Inf(1)},
+		{N: 5, FreqStd: -0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d (%+v): want validation error", i, cfg)
+		}
+	}
+}
+
+// TestRunStreamMatchesRun pins the unified-runtime port: the rows
+// streamed through sim.RunStream are bit-for-bit the rows Run
+// materializes, and the shared OrderAccumulator reproduces
+// AsymptoticOrder exactly.
+func TestRunStreamMatchesRun(t *testing.T) {
+	cfg := Config{N: 40, K: 1.2, FreqMean: 0, FreqStd: 1, Seed: 9, SpreadInitial: true}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(30, 121)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := &sim.OrderAccumulator{FinalFraction: 0.25}
+	k := 0
+	_, err = m2.RunStream(30, 121, sim.Tee(order, sim.SinkFunc(func(tt float64, y []float64) {
+		if math.Float64bits(tt) != math.Float64bits(res.Ts[k]) {
+			t.Fatalf("sample %d time %v differs from materialized %v", k, tt, res.Ts[k])
+		}
+		for i := range y {
+			if math.Float64bits(y[i]) != math.Float64bits(res.Theta[k][i]) {
+				t.Fatalf("sample %d component %d differs", k, i)
+			}
+		}
+		k++
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != len(res.Ts) {
+		t.Fatalf("streamed %d rows, materialized %d", k, len(res.Ts))
+	}
+	want := res.AsymptoticOrder(0.25)
+	if got := order.Asymptotic(); math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("streamed r∞ = %v, materialized %v (must be bitwise equal)", got, want)
 	}
 }

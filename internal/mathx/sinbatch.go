@@ -116,16 +116,3 @@ func sinIntoScalar(dst, x []float64) bool {
 	}
 	return needSlow
 }
-
-// TanhInto writes tanh(x[i]) into dst[i] for every i. dst and x must have
-// equal length and may alias. It delegates to math.Tanh per element (the
-// call is the loop body, so the constant setup still hoists); a batched
-// polynomial kernel is a follow-on (see ROADMAP).
-func TanhInto(dst, x []float64) {
-	if len(dst) != len(x) {
-		panic("mathx: TanhInto length mismatch")
-	}
-	for i, v := range x {
-		dst[i] = math.Tanh(v)
-	}
-}

@@ -1,0 +1,88 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTanhIntoMatchesMathTanh asserts bitwise agreement with math.Tanh
+// over a dense sweep spanning all three algorithm branches (rational,
+// exponential, saturated) plus the special cases — the same pin pattern
+// as TestSinIntoMatchesMathSin.
+func TestTanhIntoMatchesMathTanh(t *testing.T) {
+	var xs []float64
+	for x := -50.0; x <= 50.0; x += 0.0137 {
+		xs = append(xs, x)
+	}
+	corners := []float64{
+		0, math.Copysign(0, -1), 1e-300, -1e-300,
+		0.625, -0.625, math.Nextafter(0.625, 0), -math.Nextafter(0.625, 0),
+		44.0148459655565, -44.0148459655565, // MAXLOG/2 neighborhood
+		44.015, 45, 100, -100, 1e300, -1e300,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+	}
+	xs = append(xs, corners...)
+	got := make([]float64, len(xs))
+	TanhInto(got, xs)
+	for i, x := range xs {
+		want := math.Tanh(x)
+		if math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Fatalf("TanhInto(%g) = %v (bits %#x), math.Tanh = %v (bits %#x)",
+				x, got[i], math.Float64bits(got[i]), want, math.Float64bits(want))
+		}
+	}
+}
+
+// TestTanhIntoAliasing asserts in-place evaluation is supported,
+// including mid-range elements interleaved with fast-branch ones: the
+// fast branches overwrite aliased inputs with values in [-1, 1], which
+// is exactly why the mid-range branch evaluates in place rather than in
+// a deferred patch pass (see tanhbatch.go).
+func TestTanhIntoAliasing(t *testing.T) {
+	cases := [][]float64{
+		{-2, -1, 0, 1, 2},
+		{0.1, 0.7, 0.2, 5, 0.4, -3, 0.5, 50}, // exp-branch args interleaved
+		{math.NaN(), 0.625, math.Inf(1), -0.7, 0.8, math.Inf(-1), 1e300, -1e300},
+	}
+	for _, src := range cases {
+		want := make([]float64, len(src))
+		for i, v := range src {
+			want[i] = math.Tanh(v)
+		}
+		buf := append([]float64(nil), src...)
+		TanhInto(buf, buf)
+		for i := range buf {
+			if math.Float64bits(buf[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("in-place TanhInto(%g) = %v, math.Tanh = %v", src[i], buf[i], want[i])
+			}
+		}
+	}
+}
+
+func BenchmarkTanhInto(b *testing.B) {
+	// Near-lockstep distribution: the rational branch dominates, as in a
+	// synchronizing POM run.
+	xs := make([]float64, 2048)
+	for i := range xs {
+		xs[i] = 0.0006 * float64(i%1024)
+	}
+	dst := make([]float64, len(xs))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TanhInto(dst, xs)
+	}
+}
+
+func BenchmarkMathTanhLoop(b *testing.B) {
+	xs := make([]float64, 2048)
+	for i := range xs {
+		xs[i] = 0.0006 * float64(i%1024)
+	}
+	dst := make([]float64, len(xs))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j, x := range xs {
+			dst[j] = math.Tanh(x)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// familySpecs returns one representative spec per registered family.
+func familySpecs() map[string]*Spec {
+	pom := validSpec()
+	pom.TEnd = 5
+	pom.Samples = 11
+	kur := KuramotoScenario(16, 1.5, 7)
+	kur.TEnd = 5
+	kur.Samples = 11
+	cont := ContinuumScenario(24, 2, PotentialSpec{Kind: "tanh"})
+	cont.TEnd = 5
+	cont.Samples = 11
+	return map[string]*Spec{"pom": pom, "kuramoto": kur, "continuum": cont}
+}
+
+// TestFamilyRegistry checks the registry surface: all built-in families
+// are present and unknown families are rejected with a clear error.
+func TestFamilyRegistry(t *testing.T) {
+	fams := Families()
+	for _, want := range []string{"pom", "kuramoto", "continuum"} {
+		found := false
+		for _, f := range fams {
+			if f == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("family %q not registered (have %v)", want, fams)
+		}
+	}
+	bad := &Spec{Name: "x", Family: "ising"}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "ising") {
+		t.Errorf("unknown family: err = %v", err)
+	}
+	if _, _, _, err := bad.BuildSystem(); err == nil {
+		t.Error("BuildSystem must reject an unknown family")
+	}
+}
+
+// TestFamilyRoundTrips is the satellite pin: for every family, JSON
+// encode → decode → build → run 3 steps works and the decoded spec
+// builds the same system (same dimension, same initial state bits).
+func TestFamilyRoundTrips(t *testing.T) {
+	for name, spec := range familySpecs() {
+		var buf bytes.Buffer
+		if err := spec.Save(&buf); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		back, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: load: %v\njson: %s", name, err, buf.String())
+		}
+		sys, tEnd, samples, err := back.BuildSystem()
+		if err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+		if tEnd != 5 || samples != 11 {
+			t.Errorf("%s: run controls lost: tEnd=%v samples=%d", name, tEnd, samples)
+		}
+		orig, _, _, err := spec.BuildSystem()
+		if err != nil {
+			t.Fatalf("%s: build original: %v", name, err)
+		}
+		if sys.Dim() != orig.Dim() {
+			t.Fatalf("%s: dimension changed across round trip: %d vs %d", name, sys.Dim(), orig.Dim())
+		}
+		y0, y1 := orig.InitialState(), sys.InitialState()
+		for i := range y0 {
+			if math.Float64bits(y0[i]) != math.Float64bits(y1[i]) {
+				t.Fatalf("%s: initial state differs at %d after round trip", name, i)
+			}
+		}
+		// Run 3 sample steps through the unified runtime.
+		rows := 0
+		if _, err := sim.RunStream(sys, 0.5, 3, sim.SinkFunc(func(_ float64, y []float64) {
+			rows++
+			for _, v := range y {
+				if math.IsNaN(v) {
+					t.Fatalf("%s: NaN state", name)
+				}
+			}
+		})); err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		if rows != 3 {
+			t.Fatalf("%s: streamed %d rows, want 3", name, rows)
+		}
+	}
+}
+
+// TestFamilyDefaults checks the per-family run-control defaults.
+func TestFamilyDefaults(t *testing.T) {
+	kur := KuramotoScenario(8, 1, 1)
+	if _, tEnd, samples, err := kur.BuildSystem(); err != nil || tEnd != 40 || samples != 201 {
+		t.Errorf("kuramoto defaults: tEnd=%v samples=%d err=%v", tEnd, samples, err)
+	}
+	pom := validSpec()
+	if _, tEnd, samples, err := pom.BuildSystem(); err != nil || tEnd != 150 || samples != 601 {
+		t.Errorf("pom defaults: tEnd=%v samples=%d err=%v", tEnd, samples, err)
+	}
+}
+
+// TestFamilyValidation covers the per-family sub-spec checks.
+func TestFamilyValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec *Spec
+	}{
+		{"kuramoto missing section", &Spec{Family: "kuramoto"}},
+		{"kuramoto small n", &Spec{Family: "kuramoto", Kuramoto: &KuramotoSpec{N: 1, K: 1}}},
+		{"kuramoto NaN k", &Spec{Family: "kuramoto", Kuramoto: &KuramotoSpec{N: 4, K: math.NaN()}}},
+		{"kuramoto negative std", &Spec{Family: "kuramoto", Kuramoto: &KuramotoSpec{N: 4, K: 1, FreqStd: -1}}},
+		{"continuum missing section", &Spec{Family: "continuum"}},
+		{"continuum tiny grid", &Spec{Family: "continuum", Continuum: &ContinuumSpec{M: 2, A: 1, K: 1, Potential: PotentialSpec{Kind: "tanh"}}}},
+		{"continuum bad potential", &Spec{Family: "continuum", Continuum: &ContinuumSpec{M: 8, A: 1, K: 1, Potential: PotentialSpec{Kind: "magic"}}}},
+		{"continuum bad init", &Spec{Family: "continuum", Continuum: &ContinuumSpec{M: 8, A: 1, K: 1, Potential: PotentialSpec{Kind: "tanh"}, Init: "zigzag"}}},
+		{"continuum pulse without amp", &Spec{Family: "continuum", Continuum: &ContinuumSpec{M: 8, A: 1, K: 1, Potential: PotentialSpec{Kind: "tanh"}, Init: "pulse"}}},
+		{"negative t_end", func() *Spec { s := KuramotoScenario(8, 1, 1); s.TEnd = -2; return s }()},
+		{"NaN t_end", func() *Spec { s := KuramotoScenario(8, 1, 1); s.TEnd = math.NaN(); return s }()},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); err == nil {
+			t.Errorf("%s: want validation error", c.name)
+		}
+	}
+}
+
+// TestBuildIsPOMOnly pins the compatibility contract: the original Build
+// entry point refuses non-POM families instead of silently returning a
+// zero core.Config.
+func TestBuildIsPOMOnly(t *testing.T) {
+	if _, _, _, err := KuramotoScenario(8, 1, 1).Build(); err == nil ||
+		!strings.Contains(err.Error(), "BuildSystem") {
+		t.Errorf("Build on kuramoto family: err = %v, want a POM-only error", err)
+	}
+}
+
+// TestValidationRejectsNonFinitePotentialAndPulse is the regression test
+// for NaN-poisoned programmatic specs: JSON cannot carry NaN, but Go
+// callers can, and before the fix a NaN sigma or pulse parameter passed
+// every sign check and produced silent all-NaN runs.
+func TestValidationRejectsNonFinitePotentialAndPulse(t *testing.T) {
+	bad := []*Spec{
+		ContinuumScenario(16, 1, PotentialSpec{Kind: "desync", Sigma: math.NaN()}),
+		ContinuumScenario(16, 1, PotentialSpec{Kind: "desync", Sigma: math.Inf(1)}),
+		func() *Spec {
+			s := ContinuumScenario(16, 1, PotentialSpec{Kind: "tanh"})
+			s.Continuum.PulseAmp = math.NaN()
+			return s
+		}(),
+		func() *Spec {
+			s := ContinuumScenario(16, 1, PotentialSpec{Kind: "tanh"})
+			s.Continuum.PulseWidth = math.Inf(1)
+			return s
+		}(),
+		func() *Spec {
+			s := ContinuumScenario(16, 1, PotentialSpec{Kind: "tanh"})
+			s.Continuum.PulseCenter = math.NaN()
+			return s
+		}(),
+		func() *Spec {
+			s := validSpec()
+			s.Potential = PotentialSpec{Kind: "desync", Sigma: math.NaN()}
+			return s
+		}(),
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d: want validation error for non-finite parameter", i)
+		}
+	}
+}

@@ -1,18 +1,28 @@
 // Package scenario provides a JSON-serializable description of a complete
-// POM experiment — the counterpart of the parameter panel in the paper's
-// MATLAB GUI. A Spec can be stored next to results, loaded by cmd/pomsim,
-// and built into a validated core.Config.
+// experiment — the counterpart of the parameter panel in the paper's
+// MATLAB GUI, generalized into a model-agnostic registry. A Spec selects
+// a model family ("pom", "kuramoto", or "continuum"; empty means "pom",
+// keeping every pre-registry JSON file valid), carries the per-family
+// parameters, and builds into a sim.System, so everything layered on the
+// unified runtime — streaming sinks, sweep.RunReduce, sweep.RunArchive,
+// cmd/pomsim — works uniformly over any family. New families plug in
+// through RegisterFamily without touching this package's callers.
 package scenario
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 
+	"repro/internal/continuum"
 	"repro/internal/core"
+	"repro/internal/kuramoto"
 	"repro/internal/noise"
 	"repro/internal/potential"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -22,6 +32,35 @@ type PotentialSpec struct {
 	Kind string `json:"kind"`
 	// Sigma is the desync interaction horizon (required for "desync").
 	Sigma float64 `json:"sigma,omitempty"`
+}
+
+// validate checks the potential selection. The sigma check is written
+// NaN-proof (`!(x > 0)` rather than `x <= 0`): JSON cannot encode NaN,
+// but Go callers construct specs directly and a NaN horizon would
+// silently poison every potential evaluation.
+func (p PotentialSpec) validate() error {
+	switch p.Kind {
+	case "tanh", "kuramoto":
+	case "desync":
+		if !(p.Sigma > 0) || math.IsInf(p.Sigma, 0) {
+			return fmt.Errorf("scenario: desync potential needs finite sigma > 0, got %v", p.Sigma)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown potential %q", p.Kind)
+	}
+	return nil
+}
+
+// build returns the selected potential (validate must have passed).
+func (p PotentialSpec) build() potential.Potential {
+	switch p.Kind {
+	case "desync":
+		return potential.NewDesync(p.Sigma)
+	case "kuramoto":
+		return potential.KuramotoSine{}
+	default:
+		return potential.Tanh{}
+	}
 }
 
 // DelaySpec is a one-off delay injection.
@@ -45,19 +84,66 @@ type JitterSpec struct {
 	Seed    uint64  `json:"seed,omitempty"`
 }
 
-// Spec is a complete, serializable POM scenario.
+// KuramotoSpec carries the Kuramoto-family parameters of a Spec.
+type KuramotoSpec struct {
+	// N is the oscillator count and K the global coupling.
+	N int     `json:"n"`
+	K float64 `json:"k"`
+	// FreqMean and FreqStd parameterize the Gaussian g(ω).
+	FreqMean float64 `json:"freq_mean,omitempty"`
+	FreqStd  float64 `json:"freq_std,omitempty"`
+	// Seed makes frequency and phase draws reproducible.
+	Seed uint64 `json:"seed,omitempty"`
+	// SpreadInitial draws initial phases uniformly on [0, 2π).
+	SpreadInitial bool `json:"spread_initial,omitempty"`
+}
+
+// ContinuumSpec carries the continuum-family parameters of a Spec.
+type ContinuumSpec struct {
+	// M is the grid point count and A the lattice spacing.
+	M int     `json:"m"`
+	A float64 `json:"a"`
+	// Periodic selects ring boundaries (zero-flux Neumann otherwise).
+	Periodic bool `json:"periodic,omitempty"`
+	// K is the per-partner coupling strength.
+	K float64 `json:"k"`
+	// Linear selects the leading-order PDE instead of the full flux.
+	Linear bool `json:"linear,omitempty"`
+	// Potential selects V (its V'(0) sets the linear diffusivity).
+	Potential PotentialSpec `json:"potential"`
+	// Init is "flat" (default, θ = 0 everywhere) or "pulse" (a localized
+	// Gaussian lag packet — the continuum idle-wave seed).
+	Init string `json:"init,omitempty"`
+	// PulseAmp, PulseCenter, and PulseWidth parameterize "pulse"
+	// (θ₀(x) = −Amp·exp(−((x−Center)/Width)²)); Center 0 selects the
+	// domain midpoint and Width 0 selects 3 lattice spacings.
+	PulseAmp    float64 `json:"pulse_amp,omitempty"`
+	PulseCenter float64 `json:"pulse_center,omitempty"`
+	PulseWidth  float64 `json:"pulse_width,omitempty"`
+}
+
+// Spec is a complete, serializable scenario: a model family plus its
+// parameters and run controls. The top-level fields other than Name,
+// Family, TEnd, and Samples are the POM-family parameters (the original
+// Spec layout, so existing JSON files load unchanged); the Kuramoto and
+// Continuum sub-specs carry the other families.
 type Spec struct {
 	// Name labels the scenario in outputs.
 	Name string `json:"name"`
+	// Family selects the model family: "pom" (default when empty),
+	// "kuramoto", or "continuum" — or any family added via RegisterFamily.
+	Family string `json:"family,omitempty"`
 	// N is the oscillator count.
-	N int `json:"n"`
+	N int `json:"n,omitempty"`
 	// TComp and TComm are the phase durations.
-	TComp float64 `json:"tcomp"`
-	TComm float64 `json:"tcomm"`
-	// Potential selects V.
-	Potential PotentialSpec `json:"potential"`
+	TComp float64 `json:"tcomp,omitempty"`
+	TComm float64 `json:"tcomm,omitempty"`
+	// Potential selects V. (omitzero, not omitempty: encoding/json never
+	// treats a non-pointer struct as empty, so omitempty would silently
+	// emit a junk `"potential": {"kind": ""}` block in non-POM specs.)
+	Potential PotentialSpec `json:"potential,omitzero"`
 	// Offsets is the communication stencil; Periodic wraps it.
-	Offsets  []int `json:"offsets"`
+	Offsets  []int `json:"offsets,omitempty"`
 	Periodic bool  `json:"periodic,omitempty"`
 	// Rendezvous selects β = 2; GroupedWaitall selects κ = max|d|.
 	Rendezvous     bool `json:"rendezvous,omitempty"`
@@ -76,27 +162,167 @@ type Spec struct {
 	Init        string  `json:"init,omitempty"`
 	PerturbAmp  float64 `json:"perturb_amp,omitempty"`
 	PerturbSeed uint64  `json:"perturb_seed,omitempty"`
-	// TEnd and Samples control the integration (defaults 150 / 601).
+	// Kuramoto and Continuum carry the non-POM family parameters; exactly
+	// the sub-spec matching Family may be set.
+	Kuramoto  *KuramotoSpec  `json:"kuramoto,omitempty"`
+	Continuum *ContinuumSpec `json:"continuum,omitempty"`
+	// TEnd and Samples control the integration. Zero selects the family
+	// default (POM: 150 periods / 601 samples; others: 40 time units /
+	// 201 samples).
 	TEnd    float64 `json:"t_end,omitempty"`
 	Samples int     `json:"samples,omitempty"`
 }
 
+// FamilyDef describes one registered model family: how to validate a
+// Spec's family-specific section and how to build it into a sim.System
+// plus run-control defaults.
+type FamilyDef struct {
+	// Validate checks the family-specific Spec fields.
+	Validate func(s *Spec) error
+	// Build constructs the sim.System (Validate has passed).
+	Build func(s *Spec) (sim.System, error)
+	// DefaultTEnd and DefaultSamples are used when the Spec leaves TEnd /
+	// Samples zero. DefaultTEnd may inspect the spec (the POM default is
+	// 150 natural periods).
+	DefaultTEnd    func(s *Spec) float64
+	DefaultSamples int
+}
+
+// families is the model-family registry. Access is not synchronized:
+// RegisterFamily is meant for init-time registration, like
+// database/sql.Register.
+var families = map[string]FamilyDef{}
+
+// RegisterFamily adds (or replaces) a model family under the given name.
+// It panics on an empty name or nil hooks — registration errors are
+// programmer errors.
+func RegisterFamily(name string, def FamilyDef) {
+	if name == "" || def.Validate == nil || def.Build == nil {
+		panic("scenario: RegisterFamily needs a name and Validate/Build hooks")
+	}
+	families[name] = def
+}
+
+// Families returns the registered family names, sorted.
+func Families() []string {
+	out := make([]string, 0, len(families))
+	for name := range families {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// family resolves the spec's family name ("" means "pom").
+func (s *Spec) family() (string, FamilyDef, error) {
+	name := s.Family
+	if name == "" {
+		name = "pom"
+	}
+	def, ok := families[name]
+	if !ok {
+		return "", FamilyDef{}, fmt.Errorf("scenario: unknown family %q (registered: %v)", name, Families())
+	}
+	return name, def, nil
+}
+
+// validateControls checks the family-independent run controls.
+func (s *Spec) validateControls() error {
+	if s.TEnd < 0 || math.IsNaN(s.TEnd) || math.IsInf(s.TEnd, 0) {
+		return fmt.Errorf("scenario: bad t_end %v", s.TEnd)
+	}
+	if s.Samples < 0 {
+		return fmt.Errorf("scenario: negative samples %d", s.Samples)
+	}
+	return nil
+}
+
 // Validate checks the spec without building it.
 func (s *Spec) Validate() error {
+	_, def, err := s.family()
+	if err != nil {
+		return err
+	}
+	if err := s.validateControls(); err != nil {
+		return err
+	}
+	return def.Validate(s)
+}
+
+// controls resolves TEnd/Samples against the family defaults.
+func (s *Spec) controls(def FamilyDef) (tEnd float64, samples int) {
+	tEnd = s.TEnd
+	if tEnd == 0 {
+		tEnd = def.DefaultTEnd(s)
+	}
+	samples = s.Samples
+	if samples == 0 {
+		samples = def.DefaultSamples
+	}
+	return tEnd, samples
+}
+
+// BuildSystem builds the spec into a sim.System plus run controls,
+// uniformly over every registered family — the entry point the unified
+// streaming/sweep/archive stack and cmd/pomsim consume. Each layer runs
+// once: family resolution, control and family validation, then the
+// family's Build hook.
+func (s *Spec) BuildSystem() (sys sim.System, tEnd float64, samples int, err error) {
+	_, def, err := s.family()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if err := s.validateControls(); err != nil {
+		return nil, 0, 0, err
+	}
+	if err := def.Validate(s); err != nil {
+		return nil, 0, 0, err
+	}
+	sys, err = def.Build(s)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	tEnd, samples = s.controls(def)
+	return sys, tEnd, samples, nil
+}
+
+// pomDefaultTEnd and pomDefaultSamples are the POM run-control defaults,
+// shared by the registry entry and the legacy Build entry point.
+func pomDefaultTEnd(s *Spec) float64 { return 150 * (s.TComp + s.TComm) }
+
+const pomDefaultSamples = 601
+
+func init() {
+	RegisterFamily("pom", FamilyDef{
+		Validate:       validatePOM,
+		Build:          buildPOMSystem,
+		DefaultTEnd:    pomDefaultTEnd,
+		DefaultSamples: pomDefaultSamples,
+	})
+	RegisterFamily("kuramoto", FamilyDef{
+		Validate:       validateKuramoto,
+		Build:          buildKuramoto,
+		DefaultTEnd:    func(*Spec) float64 { return 40 },
+		DefaultSamples: 201,
+	})
+	RegisterFamily("continuum", FamilyDef{
+		Validate:       validateContinuum,
+		Build:          buildContinuum,
+		DefaultTEnd:    func(*Spec) float64 { return 40 },
+		DefaultSamples: 201,
+	})
+}
+
+// validatePOM checks the POM-family (top-level) fields.
+func validatePOM(s *Spec) error {
 	if s.N < 2 {
 		return fmt.Errorf("scenario: need n >= 2, got %d", s.N)
 	}
 	if s.TComp+s.TComm <= 0 {
 		return fmt.Errorf("scenario: need tcomp + tcomm > 0")
 	}
-	switch s.Potential.Kind {
-	case "tanh", "kuramoto":
-	case "desync":
-		if s.Potential.Sigma <= 0 {
-			return fmt.Errorf("scenario: desync potential needs sigma > 0")
-		}
-	default:
-		return fmt.Errorf("scenario: unknown potential %q", s.Potential.Kind)
+	if err := s.Potential.validate(); err != nil {
+		return err
 	}
 	if len(s.Offsets) == 0 {
 		return fmt.Errorf("scenario: empty stencil")
@@ -124,32 +350,103 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
-// Build converts the spec into a validated core.Config plus run controls.
-func (s *Spec) Build() (cfg core.Config, tEnd float64, samples int, err error) {
-	if err = s.Validate(); err != nil {
-		return core.Config{}, 0, 0, err
+// validateKuramoto checks the Kuramoto sub-spec.
+func validateKuramoto(s *Spec) error {
+	k := s.Kuramoto
+	if k == nil {
+		return fmt.Errorf("scenario: family %q needs a kuramoto section", "kuramoto")
 	}
-	tp, err := topology.Stencil(s.N, s.Offsets, s.Periodic)
+	if k.N < 2 {
+		return fmt.Errorf("scenario: kuramoto needs n >= 2, got %d", k.N)
+	}
+	if k.K < 0 || math.IsNaN(k.K) || math.IsInf(k.K, 0) {
+		return fmt.Errorf("scenario: bad kuramoto coupling %v", k.K)
+	}
+	if k.FreqStd < 0 || math.IsNaN(k.FreqStd) || math.IsInf(k.FreqStd, 0) {
+		return fmt.Errorf("scenario: bad kuramoto freq_std %v", k.FreqStd)
+	}
+	return nil
+}
+
+// validateContinuum checks the continuum sub-spec.
+func validateContinuum(s *Spec) error {
+	c := s.Continuum
+	if c == nil {
+		return fmt.Errorf("scenario: family %q needs a continuum section", "continuum")
+	}
+	if err := (continuum.Grid{M: c.M, A: c.A, Periodic: c.Periodic}).Validate(); err != nil {
+		return err
+	}
+	if c.K < 0 || math.IsNaN(c.K) || math.IsInf(c.K, 0) {
+		return fmt.Errorf("scenario: bad continuum coupling %v", c.K)
+	}
+	if err := c.Potential.validate(); err != nil {
+		return err
+	}
+	switch c.Init {
+	case "", "flat", "pulse":
+	default:
+		return fmt.Errorf("scenario: unknown continuum init %q", c.Init)
+	}
+	if c.Init == "pulse" {
+		if c.PulseAmp == 0 || math.IsNaN(c.PulseAmp) || math.IsInf(c.PulseAmp, 0) {
+			return fmt.Errorf("scenario: continuum pulse init needs finite pulse_amp != 0, got %v", c.PulseAmp)
+		}
+		if math.IsNaN(c.PulseCenter) || math.IsInf(c.PulseCenter, 0) {
+			return fmt.Errorf("scenario: bad pulse_center %v", c.PulseCenter)
+		}
+		if c.PulseWidth < 0 || math.IsNaN(c.PulseWidth) || math.IsInf(c.PulseWidth, 0) {
+			return fmt.Errorf("scenario: pulse_width must be finite and nonnegative, got %v", c.PulseWidth)
+		}
+	}
+	return nil
+}
+
+// Build converts a POM-family spec into a validated core.Config plus run
+// controls — the original entry point, kept for callers that need the
+// materialized Result paths (phase strips, SVGs, wave metrics). Non-POM
+// families must go through BuildSystem.
+func (s *Spec) Build() (cfg core.Config, tEnd float64, samples int, err error) {
+	name, def, err := s.family()
 	if err != nil {
 		return core.Config{}, 0, 0, err
 	}
-	cfg = core.Config{
+	if name != "pom" {
+		return core.Config{}, 0, 0, fmt.Errorf("scenario: Build is POM-only; family %q builds via BuildSystem", name)
+	}
+	// Same once-per-layer sequence as BuildSystem (Validate would resolve
+	// the family a second time).
+	if err = s.validateControls(); err != nil {
+		return core.Config{}, 0, 0, err
+	}
+	if err = def.Validate(s); err != nil {
+		return core.Config{}, 0, 0, err
+	}
+	cfg, err = s.buildPOMConfig()
+	if err != nil {
+		return core.Config{}, 0, 0, err
+	}
+	tEnd, samples = s.controls(def)
+	return cfg, tEnd, samples, nil
+}
+
+// buildPOMConfig assembles the core.Config of a POM spec (validation has
+// already passed).
+func (s *Spec) buildPOMConfig() (core.Config, error) {
+	tp, err := topology.Stencil(s.N, s.Offsets, s.Periodic)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg := core.Config{
 		N:                s.N,
 		TComp:            s.TComp,
 		TComm:            s.TComm,
+		Potential:        s.Potential.build(),
 		Topology:         tp,
 		CouplingOverride: s.CouplingOverride,
 		Gain:             s.Gain,
 		PerturbAmp:       s.PerturbAmp,
 		PerturbSeed:      s.PerturbSeed,
-	}
-	switch s.Potential.Kind {
-	case "tanh":
-		cfg.Potential = potential.Tanh{}
-	case "desync":
-		cfg.Potential = potential.NewDesync(s.Potential.Sigma)
-	case "kuramoto":
-		cfg.Potential = potential.KuramotoSine{}
 	}
 	if s.Rendezvous {
 		cfg.Protocol = topology.Rendezvous
@@ -195,15 +492,54 @@ func (s *Spec) Build() (cfg core.Config, tEnd float64, samples int, err error) {
 	if s.CommLag > 0 {
 		cfg.InteractionNoise = noise.ConstantLag{Lag: s.CommLag}
 	}
-	tEnd = s.TEnd
-	if tEnd == 0 {
-		tEnd = 150 * period
+	return cfg, nil
+}
+
+// buildPOMSystem builds the POM family into its sim.System (a
+// *core.Model). BuildSystem has already validated the spec.
+func buildPOMSystem(s *Spec) (sim.System, error) {
+	cfg, err := s.buildPOMConfig()
+	if err != nil {
+		return nil, err
 	}
-	samples = s.Samples
-	if samples == 0 {
-		samples = 601
+	return core.New(cfg)
+}
+
+// buildKuramoto builds the Kuramoto family into its sim.System.
+func buildKuramoto(s *Spec) (sim.System, error) {
+	k := s.Kuramoto
+	return kuramoto.New(kuramoto.Config{
+		N: k.N, K: k.K,
+		FreqMean: k.FreqMean, FreqStd: k.FreqStd,
+		Seed: k.Seed, SpreadInitial: k.SpreadInitial,
+	})
+}
+
+// buildContinuum builds the continuum family into its sim.System.
+func buildContinuum(s *Spec) (sim.System, error) {
+	c := s.Continuum
+	f := &continuum.Field{
+		Grid:      continuum.Grid{M: c.M, A: c.A, Periodic: c.Periodic},
+		Potential: c.Potential.build(),
+		K:         c.K,
+		Linear:    c.Linear,
 	}
-	return cfg, tEnd, samples, nil
+	theta0 := make([]float64, c.M)
+	if c.Init == "pulse" {
+		center := c.PulseCenter
+		if center == 0 {
+			center = f.Grid.Length() / 2
+		}
+		width := c.PulseWidth
+		if width == 0 {
+			width = 3 * c.A
+		}
+		for i := range theta0 {
+			d := (f.Grid.X(i) - center) / width
+			theta0[i] = -c.PulseAmp * math.Exp(-d*d)
+		}
+	}
+	return f.System(theta0)
 }
 
 // Load reads a Spec from JSON.
@@ -258,4 +594,29 @@ func Fig2Panel(offsets []int, scalable bool, sigma float64) *Spec {
 		s.PerturbSeed = 1
 	}
 	return s
+}
+
+// KuramotoScenario returns a ready-to-run Kuramoto-family spec — the
+// baseline comparator as a serializable scenario.
+func KuramotoScenario(n int, k float64, seed uint64) *Spec {
+	return &Spec{
+		Name:   "kuramoto",
+		Family: "kuramoto",
+		Kuramoto: &KuramotoSpec{
+			N: n, K: k, FreqMean: 0, FreqStd: 1, Seed: seed, SpreadInitial: true,
+		},
+	}
+}
+
+// ContinuumScenario returns a ready-to-run continuum-family spec: a lag
+// pulse relaxing (tanh) or sharpening into the wavefront (desync).
+func ContinuumScenario(m int, k float64, pot PotentialSpec) *Spec {
+	return &Spec{
+		Name:   "continuum",
+		Family: "continuum",
+		Continuum: &ContinuumSpec{
+			M: m, A: 1, K: k, Potential: pot,
+			Init: "pulse", PulseAmp: 2,
+		},
+	}
 }

@@ -1,0 +1,413 @@
+package sim
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/ode"
+	"repro/internal/stats"
+)
+
+// finalWindow replicates the asymptotic-window start index used by the
+// materialized report paths (core.Result.AsymptoticSpread and friends):
+// the last finalFraction of n samples, clamped to at least the final
+// sample.
+func finalWindow(n int, finalFraction float64) int {
+	start := n - int(float64(n)*finalFraction)
+	if start < 0 {
+		start = 0
+	}
+	if start >= n {
+		start = n - 1
+	}
+	return start
+}
+
+// SpreadAccumulator computes the phase-spread metrics of a run online:
+// per-sample it evaluates the same stats.PhaseSpread as the materialized
+// SpreadTimeline, and its Asymptotic value reproduces AsymptoticSpread
+// bit-for-bit (same additions in the same order).
+type SpreadAccumulator struct {
+	// FinalFraction sets the asymptotic averaging window; 0 means 0.15
+	// (the window the report paths use).
+	FinalFraction float64
+	// KeepTimeline retains the full per-sample spread series in Timeline —
+	// O(nSamples) memory, for plots and the bitwise pinning tests. Leave
+	// false in sweeps.
+	KeepTimeline bool
+	// Timeline is the retained series when KeepTimeline is set.
+	Timeline []float64
+
+	start, k   int
+	sum        float64
+	final, max float64
+}
+
+// Begin implements Sink.
+func (a *SpreadAccumulator) Begin(_, nSamples int) {
+	ff := a.FinalFraction
+	if ff == 0 {
+		ff = 0.15
+	}
+	a.start = finalWindow(nSamples, ff)
+	a.k, a.sum, a.final, a.max = 0, 0, 0, 0
+	a.Timeline = a.Timeline[:0]
+}
+
+// Sample implements Sink.
+func (a *SpreadAccumulator) Sample(_ float64, theta []float64) {
+	s := stats.PhaseSpread(theta)
+	if a.KeepTimeline {
+		a.Timeline = append(a.Timeline, s)
+	}
+	if s > a.max {
+		a.max = s
+	}
+	a.final = s
+	if a.k >= a.start {
+		a.sum += s
+	}
+	a.k++
+}
+
+// Final returns the spread at the last sample.
+func (a *SpreadAccumulator) Final() float64 { return a.final }
+
+// Max returns the largest spread seen.
+func (a *SpreadAccumulator) Max() float64 { return a.max }
+
+// Asymptotic returns the mean spread over the final window — equal to
+// AsymptoticSpread(FinalFraction) on the same materialized run.
+func (a *SpreadAccumulator) Asymptotic() float64 {
+	if a.k <= a.start {
+		return 0
+	}
+	return a.sum / float64(a.k-a.start)
+}
+
+// OrderAccumulator computes the Kuramoto order parameter r(t) online —
+// per-sample identical to the materialized OrderTimeline, and its
+// Asymptotic value reproduces kuramoto.Result.AsymptoticOrder
+// bit-for-bit (same additions in the same order over the same window).
+type OrderAccumulator struct {
+	// FinalFraction sets the asymptotic averaging window; 0 means 0.15.
+	FinalFraction float64
+	// KeepTimeline retains the full r(t) series (see SpreadAccumulator).
+	KeepTimeline bool
+	// Timeline is the retained series when KeepTimeline is set.
+	Timeline []float64
+
+	start, k   int
+	sum        float64
+	final, min float64
+	seen       bool
+}
+
+// Begin implements Sink.
+func (a *OrderAccumulator) Begin(_, nSamples int) {
+	ff := a.FinalFraction
+	if ff == 0 {
+		ff = 0.15
+	}
+	a.start = finalWindow(nSamples, ff)
+	a.k, a.sum = 0, 0
+	a.final, a.min, a.seen = 0, math.Inf(1), false
+	a.Timeline = a.Timeline[:0]
+}
+
+// Sample implements Sink.
+func (a *OrderAccumulator) Sample(_ float64, theta []float64) {
+	r, _ := stats.OrderParameter(theta)
+	if a.KeepTimeline {
+		a.Timeline = append(a.Timeline, r)
+	}
+	if r < a.min {
+		a.min = r
+	}
+	a.final = r
+	a.seen = true
+	if a.k >= a.start {
+		a.sum += r
+	}
+	a.k++
+}
+
+// Final returns r at the last sample.
+func (a *OrderAccumulator) Final() float64 { return a.final }
+
+// Min returns the lowest r seen (0 when no samples arrived).
+func (a *OrderAccumulator) Min() float64 {
+	if !a.seen {
+		return 0
+	}
+	return a.min
+}
+
+// Asymptotic returns the mean order parameter over the final window —
+// the r∞ the Kuramoto bifurcation diagram plots against K.
+func (a *OrderAccumulator) Asymptotic() float64 {
+	if a.k <= a.start {
+		return 0
+	}
+	return a.sum / float64(a.k-a.start)
+}
+
+// ResyncDetector finds the resynchronization time online: the first sample
+// time at which the phase spread drops below Eps and stays below it for
+// the rest of the run — exactly the materialized ResyncTime(Eps), computed
+// forward by tracking the start of the current below-Eps run.
+type ResyncDetector struct {
+	// Eps is the spread threshold (the report paths use 0.1).
+	Eps float64
+
+	at   float64
+	have bool
+}
+
+// Begin implements Sink.
+func (d *ResyncDetector) Begin(int, int) { d.have = false }
+
+// Sample implements Sink.
+func (d *ResyncDetector) Sample(t float64, theta []float64) {
+	if stats.PhaseSpread(theta) >= d.Eps {
+		d.have = false
+	} else if !d.have {
+		d.have, d.at = true, t
+	}
+}
+
+// ResyncTime returns the detected resynchronization time, or an error when
+// the system never resynchronized.
+func (d *ResyncDetector) ResyncTime() (float64, error) {
+	if !d.have {
+		return 0, errors.New("sim: system did not resynchronize")
+	}
+	return d.at, nil
+}
+
+// GapAccumulator time-averages the adjacent phase gaps θ_{i+1} − θ_i over
+// the final window — bit-for-bit the materialized AsymptoticGaps.
+type GapAccumulator struct {
+	// FinalFraction sets the averaging window; 0 means 0.15.
+	FinalFraction float64
+
+	start, k, count int
+	sums            []float64
+}
+
+// Begin implements Sink.
+func (a *GapAccumulator) Begin(n, nSamples int) {
+	ff := a.FinalFraction
+	if ff == 0 {
+		ff = 0.15
+	}
+	a.start = finalWindow(nSamples, ff)
+	a.k, a.count = 0, 0
+	w := n - 1
+	if w < 0 {
+		w = 0
+	}
+	if cap(a.sums) < w {
+		a.sums = make([]float64, w)
+	}
+	a.sums = a.sums[:w]
+	for i := range a.sums {
+		a.sums[i] = 0
+	}
+}
+
+// Sample implements Sink.
+func (a *GapAccumulator) Sample(_ float64, theta []float64) {
+	if a.k >= a.start {
+		for i := 1; i < len(theta) && i-1 < len(a.sums); i++ {
+			a.sums[i-1] += theta[i] - theta[i-1]
+		}
+		a.count++
+	}
+	a.k++
+}
+
+// Gaps returns the time-averaged adjacent gaps over the final window.
+func (a *GapAccumulator) Gaps() []float64 {
+	out := make([]float64, len(a.sums))
+	if a.count == 0 {
+		return out
+	}
+	for i, s := range a.sums {
+		out[i] = s / float64(a.count)
+	}
+	return out
+}
+
+// MeanAbsGap returns the mean |gap| of the averaged gaps, the settled
+// wavefront summary the report paths print.
+func (a *GapAccumulator) MeanAbsGap() float64 {
+	gaps := a.Gaps()
+	if len(gaps) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += math.Abs(g)
+	}
+	return sum / float64(len(gaps))
+}
+
+// LockAccumulator decides asymptotic frequency locking online — the
+// streaming counterpart of core.Result.FrequencyLocked, retaining only
+// the window-start row and the final row instead of the trajectory. The
+// mean frequency of each component over the final window is the secant
+// (y(t_end) − y(t_start)) / Δt; the system is locked when the frequency
+// range is within a relative tolerance of its midpoint. Locked(tol)
+// reproduces FrequencyLocked(FinalFraction, tol) on the same run exactly.
+type LockAccumulator struct {
+	// FinalFraction sets the averaging window; 0 means 0.2 (the report
+	// default).
+	FinalFraction float64
+
+	n, k, start int
+	t0, t1      float64
+	y0, y1      []float64
+}
+
+// Begin implements Sink.
+func (a *LockAccumulator) Begin(n, nSamples int) {
+	a.n = n
+	a.k = 0
+	ff := a.FinalFraction
+	if ff == 0 {
+		ff = 0.2
+	}
+	// FrequencyLocked clamps the window start to n−2 so the secant always
+	// spans at least one sample interval (finalWindow clamps to n−1).
+	a.start = nSamples - int(float64(nSamples)*ff)
+	if a.start < 0 {
+		a.start = 0
+	}
+	if a.start >= nSamples-1 {
+		a.start = nSamples - 2
+	}
+	if cap(a.y0) < n {
+		a.y0 = make([]float64, n)
+		a.y1 = make([]float64, n)
+	}
+	a.y0, a.y1 = a.y0[:n], a.y1[:n]
+}
+
+// Sample implements Sink.
+func (a *LockAccumulator) Sample(t float64, theta []float64) {
+	if a.k == a.start {
+		a.t0 = t
+		copy(a.y0, theta)
+	}
+	a.t1 = t
+	copy(a.y1, theta)
+	a.k++
+}
+
+// Locked reports whether all components share the same mean frequency
+// over the final window, to within tol (relative).
+func (a *LockAccumulator) Locked(tol float64) bool {
+	if a.k < 3 || a.k <= a.start {
+		return false
+	}
+	dt := a.t1 - a.t0
+	if dt <= 0 {
+		return false
+	}
+	lo := (a.y1[0] - a.y0[0]) / dt
+	hi := lo
+	for i := 1; i < a.n; i++ {
+		f := (a.y1[i] - a.y0[i]) / dt
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	mid := (lo + hi) / 2
+	if mid == 0 {
+		return hi-lo == 0
+	}
+	return (hi-lo)/math.Abs(mid) <= tol
+}
+
+// Summary is the O(N) reduction of one streamed run: everything the batch
+// report paths need, without a single retained trajectory row.
+type Summary struct {
+	// FinalSpread, MaxSpread, and AsymptoticSpread are the phase-spread
+	// metrics (AsymptoticSpread over the final-fraction window).
+	FinalSpread, MaxSpread, AsymptoticSpread float64
+	// FinalOrder and MinOrder are the Kuramoto order-parameter metrics.
+	FinalOrder, MinOrder float64
+	// Resynced reports whether the spread settled below the resync
+	// threshold; ResyncTime is the settling time when it did.
+	Resynced   bool
+	ResyncTime float64
+	// Gaps are the time-averaged adjacent gaps over the final window and
+	// MeanAbsGap their mean magnitude.
+	Gaps       []float64
+	MeanAbsGap float64
+	// Stats reports the solver work.
+	Stats ode.Stats
+}
+
+// RunSummary streams a run through the standard accumulator set and
+// returns the O(N) summary. resyncEps 0 selects 0.1 and finalFraction 0
+// selects 0.15 — the thresholds the materialized report paths use. It
+// works for any System: a Kuramoto coupling scan and a continuum
+// relaxation study summarize through exactly the code path the POM uses.
+func RunSummary(sys System, tEnd float64, nSamples int, resyncEps, finalFraction float64) (*Summary, error) {
+	return RunSummaryTo(sys, tEnd, nSamples, resyncEps, finalFraction)
+}
+
+// RunSummaryTo is RunSummary with extra sinks teed into the same single
+// pass over the sample stream — the hook archive-mode sweeps use to
+// persist the full trajectory (an archive.RecordWriter is a Sink) while
+// the standard summary accumulates. The extra sinks see exactly the
+// rows the accumulators see, in the same order.
+func RunSummaryTo(sys System, tEnd float64, nSamples int, resyncEps, finalFraction float64, extra ...Sink) (*Summary, error) {
+	if resyncEps == 0 {
+		resyncEps = 0.1
+	}
+	spread := &SpreadAccumulator{FinalFraction: finalFraction}
+	order := &OrderAccumulator{FinalFraction: finalFraction}
+	resync := &ResyncDetector{Eps: resyncEps}
+	gaps := &GapAccumulator{FinalFraction: finalFraction}
+	sinks := append([]Sink{spread, order, resync, gaps}, extra...)
+	st, err := RunStream(sys, tEnd, nSamples, Tee(sinks...))
+	if err != nil {
+		return nil, err
+	}
+	sum := &Summary{
+		FinalSpread:      spread.Final(),
+		MaxSpread:        spread.Max(),
+		AsymptoticSpread: spread.Asymptotic(),
+		FinalOrder:       order.Final(),
+		MinOrder:         order.Min(),
+		Gaps:             gaps.Gaps(),
+		MeanAbsGap:       gaps.MeanAbsGap(),
+		Stats:            st,
+	}
+	if rt, err := resync.ResyncTime(); err == nil {
+		sum.Resynced, sum.ResyncTime = true, rt
+	}
+	return sum, nil
+}
+
+// Vector flattens the scalar summary metrics into a fixed-layout float
+// vector — the metrics section of an archive record. The layout is
+// stable: [FinalSpread, MaxSpread, AsymptoticSpread, FinalOrder,
+// MinOrder, resynced (0/1), ResyncTime, MeanAbsGap].
+func (s *Summary) Vector() []float64 {
+	resynced := 0.0
+	if s.Resynced {
+		resynced = 1
+	}
+	return []float64{
+		s.FinalSpread, s.MaxSpread, s.AsymptoticSpread,
+		s.FinalOrder, s.MinOrder,
+		resynced, s.ResyncTime, s.MeanAbsGap,
+	}
+}

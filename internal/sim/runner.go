@@ -1,0 +1,158 @@
+package sim
+
+// Runner is the persistent worker pool behind row-parallel right-hand
+// sides (core.Config.Workers). It owns a fixed contiguous chunking of the
+// row range [0, n) and a fixed evaluation function; Run dispatches one
+// chunk index per worker over a channel and waits for the matching
+// completions, so a steady-state evaluation performs no allocations.
+// Per-call arguments (t, y, dydt) are staged by the owning system before
+// dispatch — the evaluation closure is created once, at construction.
+//
+// Determinism: the chunk boundaries are fixed at construction and every
+// chunk must write a disjoint output range while reading only shared
+// inputs, so the floating-point result is bit-for-bit identical to a
+// serial evaluation no matter how the chunks are interleaved — and, for
+// the same reason, independent of the chunk boundaries themselves (even
+// vs. nnz-weighted chunking produce identical bits).
+type Runner struct {
+	bounds []int
+	eval   func(lo, hi int)
+	jobs   chan int
+	done   chan struct{}
+}
+
+// NewRunner builds a runner over the given chunk bounds (len(bounds)-1
+// chunks; bounds must be non-decreasing) evaluating eval(lo, hi) per
+// chunk. Worker goroutines start lazily on the first Run.
+func NewRunner(bounds []int, eval func(lo, hi int)) *Runner {
+	if len(bounds) < 2 {
+		panic("sim: NewRunner needs at least one chunk")
+	}
+	if eval == nil {
+		panic("sim: NewRunner needs an evaluation function")
+	}
+	return &Runner{bounds: bounds, eval: eval}
+}
+
+// Chunks returns the number of chunks (= worker goroutines).
+func (r *Runner) Chunks() int { return len(r.bounds) - 1 }
+
+// Run evaluates every chunk on the pool and blocks until all are done,
+// lazily (re)starting the worker goroutines after construction or Close.
+func (r *Runner) Run() {
+	if r.jobs == nil {
+		r.start()
+	}
+	n := r.Chunks()
+	for c := 0; c < n; c++ {
+		r.jobs <- c
+	}
+	for c := 0; c < n; c++ {
+		<-r.done
+	}
+}
+
+// start launches one goroutine per chunk. Run is only ever called from
+// one goroutine at a time (the ODE solver), so no locking is needed. The
+// workers capture the channels as locals: Close overwrites the struct
+// fields, and a field read from a draining worker would race with it.
+func (r *Runner) start() {
+	n := r.Chunks()
+	jobs := make(chan int, n)
+	done := make(chan struct{}, n)
+	r.jobs, r.done = jobs, done
+	for w := 0; w < n; w++ {
+		go func() {
+			for c := range jobs {
+				r.eval(r.bounds[c], r.bounds[c+1])
+				done <- struct{}{}
+			}
+		}()
+	}
+}
+
+// Close stops the worker goroutines. It is safe to call repeatedly, and
+// the pool restarts transparently if Run is called again afterwards.
+func (r *Runner) Close() {
+	if r.jobs != nil {
+		close(r.jobs)
+		r.jobs = nil
+	}
+}
+
+// EvenChunks splits the row range [0, n) into `workers` contiguous chunks
+// of (nearly) equal row count: bounds[c] = c·n/workers. This is the right
+// chunking when every row costs the same. n ≤ 0 yields the single empty
+// chunk [0, 0) rather than a divide-by-zero panic.
+func EvenChunks(n, workers int) []int {
+	if n <= 0 {
+		return []int{0, 0}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	bounds := make([]int, workers+1)
+	for c := 0; c <= workers; c++ {
+		bounds[c] = c * n / workers
+	}
+	return bounds
+}
+
+// WeightedChunks splits the row range [0, n) into `workers` contiguous
+// chunks balanced by the CSR-style prefix array (prefix[i] is the
+// cumulative weight of rows < i, so prefix has n+1 entries and
+// prefix[i+1]−prefix[i] is row i's weight — topology.FlatNeighbors.RowPtr
+// verbatim). Chunk c ends at the first row whose cumulative weight
+// reaches (c+1)/workers of the total, so for irregular topologies every
+// worker carries a near-equal share of the nonzeros instead of a
+// near-equal share of the rows. With a uniform weight profile the bounds
+// coincide with EvenChunks. The chunking only moves work between
+// workers; per-row arithmetic is untouched, so results are bit-for-bit
+// identical to even chunking (pinned by TestWeightedChunksBitwise).
+func WeightedChunks(prefix []int32, workers int) []int {
+	n := len(prefix) - 1
+	if n <= 0 { // nil/empty prefix: one empty chunk, like EvenChunks
+		return []int{0, 0}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	bounds := make([]int, workers+1)
+	bounds[workers] = n
+	total := int64(prefix[n] - prefix[0])
+	if total <= 0 {
+		// Degenerate (empty or all-empty-row) profile: fall back to even
+		// row counts so no worker is starved by accident of the weights.
+		return EvenChunks(n, workers)
+	}
+	b := 0
+	for c := 1; c < workers; c++ {
+		// bounds[c] is the smallest row index whose cumulative weight
+		// covers c shares of the total, clamped so every chunk — before
+		// and after this boundary — keeps at least one row (workers ≤ n).
+		// The lower clamp must be strict against the previous bound: a
+		// single hub row heavier than one share would otherwise leave the
+		// cumulative weight past several targets at once and emit empty
+		// chunks. Both clamps are always satisfiable because
+		// bounds[c-1] ≤ n-(workers-c+1) implies bounds[c-1]+1 ≤ maxB.
+		target := total * int64(c) / int64(workers)
+		for b < n && int64(prefix[b]-prefix[0]) < target {
+			b++
+		}
+		bc := b
+		if bc <= bounds[c-1] {
+			bc = bounds[c-1] + 1
+		}
+		if maxB := n - (workers - c); bc > maxB {
+			bc = maxB
+		}
+		bounds[c] = bc
+	}
+	return bounds
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestEvenChunks(t *testing.T) {
+	b := EvenChunks(10, 4)
+	if len(b) != 5 || b[0] != 0 || b[4] != 10 {
+		t.Fatalf("bounds = %v", b)
+	}
+	for c := 0; c < 4; c++ {
+		if b[c+1] < b[c] {
+			t.Fatalf("bounds not monotone: %v", b)
+		}
+	}
+	// More workers than rows collapses to one row per chunk.
+	b = EvenChunks(3, 8)
+	if len(b) != 4 || b[3] != 3 {
+		t.Fatalf("clamped bounds = %v", b)
+	}
+}
+
+// prefixOf builds a CSR-style prefix from per-row weights.
+func prefixOf(weights []int32) []int32 {
+	p := make([]int32, len(weights)+1)
+	for i, w := range weights {
+		p[i+1] = p[i] + w
+	}
+	return p
+}
+
+func TestWeightedChunksBalance(t *testing.T) {
+	// A pathological profile: one fat row region. Even chunking would give
+	// one worker nearly all nonzeros; weighted chunking must not.
+	weights := make([]int32, 64)
+	for i := range weights {
+		weights[i] = 1
+	}
+	for i := 0; i < 8; i++ {
+		weights[i] = 100 // first 8 rows hold ~93% of the weight
+	}
+	prefix := prefixOf(weights)
+	workers := 4
+	b := WeightedChunks(prefix, workers)
+	if len(b) != workers+1 || b[0] != 0 || b[workers] != 64 {
+		t.Fatalf("bounds = %v", b)
+	}
+	total := float64(prefix[len(prefix)-1])
+	worst := 0.0
+	for c := 0; c < workers; c++ {
+		if b[c+1] <= b[c] {
+			t.Fatalf("empty or inverted chunk %d: %v", c, b)
+		}
+		share := float64(prefix[b[c+1]]-prefix[b[c]]) / total
+		if share > worst {
+			worst = share
+		}
+	}
+	// Perfect balance is 0.25; even row chunking would put ~0.94 of the
+	// weight on worker 0. Require the weighted split to stay close to fair
+	// (one fat row can exceed a share by at most its own weight).
+	if worst > 0.40 {
+		t.Errorf("worst worker share = %v of total weight, want near 1/%d; bounds %v", worst, workers, b)
+	}
+
+	// Uniform weights reduce to (nearly) even chunks.
+	uw := make([]int32, 12)
+	for i := range uw {
+		uw[i] = 3
+	}
+	b = WeightedChunks(prefixOf(uw), 3)
+	want := EvenChunks(12, 3)
+	for c := range b {
+		if b[c] != want[c] {
+			t.Errorf("uniform weighted bounds %v, want even %v", b, want)
+			break
+		}
+	}
+}
+
+// TestWeightedChunksHubRowKeepsEveryWorkerBusy is the regression test
+// for the empty-chunk bug: a single hub row holding more than one
+// worker's share of the weight used to leave the cumulative weight past
+// several targets at once, emitting a zero-width chunk that idled its
+// pool goroutine on every RHS call.
+func TestWeightedChunksHubRowKeepsEveryWorkerBusy(t *testing.T) {
+	// Row 1 holds 100 of 104 nonzeros; pre-fix bounds were [0,2,2,3,5].
+	prefix := []int32{0, 1, 101, 102, 103, 104}
+	b := WeightedChunks(prefix, 4)
+	if len(b) != 5 || b[0] != 0 || b[4] != 5 {
+		t.Fatalf("bounds = %v", b)
+	}
+	for c := 0; c < 4; c++ {
+		if b[c+1] <= b[c] {
+			t.Fatalf("chunk %d is empty: bounds %v", c, b)
+		}
+	}
+}
+
+func TestWeightedChunksDegenerate(t *testing.T) {
+	// All-zero weights fall back to even chunking.
+	b := WeightedChunks(make([]int32, 9), 4) // 8 rows, zero weight
+	if len(b) != 5 || b[4] != 8 {
+		t.Fatalf("zero-weight bounds = %v", b)
+	}
+	for c := 0; c < 4; c++ {
+		if b[c+1] <= b[c] {
+			t.Fatalf("zero-weight chunking starves a worker: %v", b)
+		}
+	}
+	// workers > rows clamps.
+	b = WeightedChunks(prefixOf([]int32{5, 1}), 7)
+	if len(b) != 3 || b[2] != 2 {
+		t.Fatalf("clamped bounds = %v", b)
+	}
+}
+
+// TestRunnerCoversAllRowsOnce checks the dispatch: every row is evaluated
+// exactly once per Run, across restarts.
+func TestRunnerCoversAllRowsOnce(t *testing.T) {
+	const n = 37
+	var hits [n]atomic.Int32
+	r := NewRunner(EvenChunks(n, 5), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hits[i].Add(1)
+		}
+	})
+	if r.Chunks() != 5 {
+		t.Fatalf("chunks = %d", r.Chunks())
+	}
+	r.Run()
+	r.Close()
+	r.Run() // restart after Close
+	r.Close()
+	for i := range hits {
+		if got := hits[i].Load(); got != 2 {
+			t.Fatalf("row %d evaluated %d times, want 2", i, got)
+		}
+	}
+}
+
+// TestRunnerChunkingIsBitwiseIrrelevant is the NUMA-balance pin: the same
+// row-disjoint reduction evaluated under even chunks, weighted chunks,
+// and serially produces bit-for-bit identical output.
+func TestRunnerChunkingIsBitwiseIrrelevant(t *testing.T) {
+	const n = 129
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = math.Sin(float64(3*i+1)) * 1e3
+	}
+	eval := func(dst []float64) func(lo, hi int) {
+		return func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dst[i] = math.Sqrt(math.Abs(in[i])) + 0.5*in[i]
+			}
+		}
+	}
+	serial := make([]float64, n)
+	eval(serial)(0, n)
+
+	weights := make([]int32, n)
+	for i := range weights {
+		weights[i] = int32(1 + (i*i)%17)
+	}
+	for _, bounds := range [][]int{
+		EvenChunks(n, 6),
+		WeightedChunks(prefixOf(weights), 6),
+	} {
+		out := make([]float64, n)
+		r := NewRunner(bounds, eval(out))
+		r.Run()
+		r.Close()
+		for i := range out {
+			if math.Float64bits(out[i]) != math.Float64bits(serial[i]) {
+				t.Fatalf("bounds %v: row %d differs from serial", bounds, i)
+			}
+		}
+	}
+}
+
+// TestChunksEmptyRowRange pins the degenerate inputs: no rows (or a
+// nil/empty prefix) yields a single empty chunk instead of a
+// divide-by-zero or index panic.
+func TestChunksEmptyRowRange(t *testing.T) {
+	for name, b := range map[string][]int{
+		"even n=0":           EvenChunks(0, 4),
+		"even n<0":           EvenChunks(-3, 2),
+		"weighted nil":       WeightedChunks(nil, 4),
+		"weighted empty":     WeightedChunks([]int32{}, 4),
+		"weighted one-entry": WeightedChunks([]int32{0}, 4),
+	} {
+		if len(b) != 2 || b[0] != 0 || b[1] != 0 {
+			t.Errorf("%s: bounds = %v, want [0 0]", name, b)
+		}
+	}
+}

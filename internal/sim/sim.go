@@ -1,0 +1,207 @@
+// Package sim is the unified simulation runtime shared by every model
+// family in the repository — the POM core (core.Model), the Kuramoto
+// baseline (kuramoto.Model), and the continuum field (continuum.Field)
+// all implement the System contract and route their integrations through
+// Run / RunStream here. One runtime means one implementation of the
+// sample-plan machinery, the streaming-sink protocol, the accumulator
+// set, and the worker-pool/chunking logic — and everything built on top
+// (sweep.RunReduce, sweep.RunArchive, the scenario registry, cmd/pomsim)
+// works uniformly over any family.
+//
+// The split mirrors inference-sim's ClusterSimulator/DeploymentConfig
+// architecture: declarative per-family configs build a System, and a
+// single simulator core owns integration, determinism, and statistics.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mathx"
+	"repro/internal/ode"
+)
+
+// System is the common runtime contract of a dynamical model family: a
+// fixed-dimension state, an initial condition, and a right-hand side.
+// A System is integrated by Run or RunStream; it is not required to be
+// safe for concurrent use (sweeps build one System per point).
+type System interface {
+	// Dim returns the state dimension N.
+	Dim() int
+	// InitialState returns y(0). The runtime copies it before integrating,
+	// so implementations may return an internal slice.
+	InitialState() []float64
+	// Eval writes the right-hand side dy/dt at (t, y) into dydt. Both
+	// slices have length Dim; implementations must not retain them.
+	Eval(t float64, y, dydt []float64)
+}
+
+// Delayed is implemented by systems whose right-hand side reads the
+// solution history (delay differential equations). When MaxDelay returns
+// a positive value the runtime integrates with the DDE driver and calls
+// EvalDelayed instead of Eval.
+type Delayed interface {
+	System
+	// MaxDelay bounds the largest delay the right-hand side will request;
+	// 0 or negative selects the plain ODE path.
+	MaxDelay() float64
+	// EvalDelayed is Eval with access to the dense-output history.
+	EvalDelayed(t float64, y []float64, past ode.Past, dydt []float64)
+}
+
+// Solver carries the per-system solver settings.
+type Solver struct {
+	// Atol and Rtol are the error tolerances; 0 selects 1e-8 / 1e-6.
+	Atol, Rtol float64
+	// Hmax caps the step size; 0 means no cap beyond the interval.
+	Hmax float64
+}
+
+// Tuned is implemented by systems that override the default solver
+// settings (the POM caps the step at a quarter period so piecewise-
+// constant noise cells are never stepped over).
+type Tuned interface {
+	Solver() Solver
+}
+
+// Releaser is implemented by systems that hold resources — worker pools,
+// scratch arenas — which should be returned when an integration finishes.
+// Run and RunStream call Release exactly once per invocation, on success
+// and on error alike, so a System dropped after a run leaks nothing even
+// without an explicit close (sweeps build thousands of systems).
+type Releaser interface {
+	Release()
+}
+
+// Result is a completed, materialized integration: the trajectory rows
+// plus the solver work statistics.
+type Result struct {
+	// Ts are the sample times.
+	Ts []float64
+	// Ys[k] is the state at Ts[k].
+	Ys [][]float64
+	// Stats reports the solver work.
+	Stats ode.Stats
+}
+
+// Run integrates the system from t = 0 to tEnd, materializing nSamples
+// uniform samples (both endpoints included).
+func Run(sys System, tEnd float64, nSamples int) (*Result, error) {
+	res, err := integrate(sys, tEnd, nSamples, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Ts: res.Ts, Ys: res.Ys, Stats: res.Stats}, nil
+}
+
+// release returns the system's resources if it participates in the
+// Releaser contract.
+func release(sys System) {
+	if r, ok := sys.(Releaser); ok {
+		r.Release()
+	}
+}
+
+// RunStream integrates the system like Run but emits the nSamples uniform
+// sample rows to sink as they are produced instead of materializing them:
+// the run's memory is independent of nSamples, which is what makes
+// million-point sweeps with per-point trajectories feasible. The rows
+// streamed to the sink are bit-for-bit the rows Run would store.
+func RunStream(sys System, tEnd float64, nSamples int, sink Sink) (ode.Stats, error) {
+	if sink == nil {
+		release(sys)
+		return ode.Stats{}, errors.New("sim: nil sink")
+	}
+	if tEnd <= 0 {
+		release(sys)
+		return ode.Stats{}, errors.New("sim: tEnd must be positive")
+	}
+	if nSamples < 2 {
+		nSamples = 2
+	}
+	sink.Begin(sys.Dim(), nSamples)
+	res, err := integrate(sys, tEnd, nSamples, sink.Sample)
+	if err != nil {
+		return ode.Stats{}, err
+	}
+	return res.Stats, nil
+}
+
+// integrate runs the solver over [0, tEnd] with nSamples uniform samples.
+// A nil sample callback materializes the trajectory in the result; a
+// non-nil callback receives each row as it is produced (from a reused
+// buffer) and the result carries only the work statistics. The two paths
+// produce bitwise-identical sample times and rows.
+func integrate(sys System, tEnd float64, nSamples int, sample func(t float64, y []float64)) (*ode.Result, error) {
+	// Registered before any validation: the Releaser contract promises a
+	// Release per invocation on every path, including argument errors — a
+	// pooled system rejected by a bad tEnd inside a sweep loop must not
+	// leak its worker goroutines.
+	defer release(sys)
+	if tEnd <= 0 {
+		return nil, errors.New("sim: tEnd must be positive")
+	}
+	if nSamples < 2 {
+		nSamples = 2
+	}
+	var sv Solver
+	if t, ok := sys.(Tuned); ok {
+		sv = t.Solver()
+	}
+	if sv.Atol == 0 {
+		sv.Atol = 1e-8
+	}
+	if sv.Rtol == 0 {
+		sv.Rtol = 1e-6
+	}
+	solver := ode.NewDOPRI5(sv.Atol, sv.Rtol)
+	solver.Hmax = sv.Hmax
+	// Materialized runs hand the solver the explicit Linspace grid (it
+	// sizes the output arena); streaming runs use the equivalent virtual
+	// plan so the run allocates nothing proportional to nSamples. The two
+	// produce bitwise-identical sample times.
+	var samples []float64
+	sampleAt := func(k int) float64 { return 0 }
+	if sample == nil {
+		samples = mathx.Linspace(0, tEnd, nSamples)
+	} else {
+		step := tEnd / float64(nSamples-1)
+		last := nSamples - 1
+		sampleAt = func(k int) float64 {
+			if k == last {
+				return tEnd // avoid accumulated rounding, like Linspace
+			}
+			return float64(k) * step
+		}
+	}
+	y0 := append([]float64(nil), sys.InitialState()...)
+	if len(y0) != sys.Dim() {
+		return nil, fmt.Errorf("sim: initial state has %d entries, system dimension is %d", len(y0), sys.Dim())
+	}
+
+	var res *ode.Result
+	var err error
+	if d, ok := sys.(Delayed); ok && d.MaxDelay() > 0 {
+		res, err = solver.SolveDDE(
+			d.EvalDelayed,
+			y0, 0, tEnd,
+			ode.DDEOptions{
+				SampleTs: samples, SampleAt: sampleAt, NSamples: nSamples,
+				SampleFunc: sample, MaxDelay: d.MaxDelay(),
+			},
+		)
+	} else {
+		res, err = solver.Solve(
+			sys.Eval,
+			y0, 0, tEnd,
+			ode.SolveOptions{
+				SampleTs: samples, SampleAt: sampleAt, NSamples: nSamples,
+				SampleFunc: sample,
+			},
+		)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sim: integration failed: %w", err)
+	}
+	return res, nil
+}
