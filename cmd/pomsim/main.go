@@ -22,13 +22,16 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 
 	"repro/internal/archive"
+	"repro/internal/continuum"
 	"repro/internal/core"
+	"repro/internal/kuramoto"
 	"repro/internal/potential"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -65,8 +68,16 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress the ASCII phase strip")
 		cfgPath   = flag.String("config", "", "load a scenario JSON (replaces the model flags)")
 		savePath  = flag.String("save-config", "", "write the effective scenario JSON and exit")
+		listFams  = flag.Bool("list-families", false, "list the registered scenario families and exit")
 	)
 	flag.Parse()
+
+	if *listFams {
+		for _, f := range scenario.Families() {
+			fmt.Println(f)
+		}
+		return
+	}
 
 	var spec *scenario.Spec
 	if *cfgPath != "" {
@@ -214,17 +225,37 @@ func reportFamily(spec *scenario.Spec, archDir string) {
 		// to the configuration that produced them (the POM path archives
 		// [N, TEnd, nSamples, Sigma] the same way).
 		params := []float64{float64(sys.Dim()), tEnd, float64(nSamples)}
-		switch {
-		case spec.Kuramoto != nil:
+		switch spec.Family {
+		case "kuramoto":
 			k := spec.Kuramoto
 			params = append(params, k.K, k.FreqMean, k.FreqStd, float64(k.Seed))
-		case spec.Continuum != nil:
+		case "continuum":
 			c := spec.Continuum
 			params = append(params, c.K, c.A, c.Potential.Sigma)
+		case "torus2d":
+			t := spec.Torus2D
+			params = append(params, float64(t.NX), float64(t.NY), float64(t.CouplingRadius()), t.Potential.Sigma)
+		case "linstab":
+			l := spec.Linstab
+			scanKind := 0.0 // 0 = gap scan, 1 = coupling scan
+			if l.Scan == "coupling" {
+				scanKind = 1
+			}
+			params = append(params, l.From, l.To, float64(l.ScanPoints()),
+				scanKind, l.Coupling(), l.Gap, l.Potential.Sigma)
+		case "cluster":
+			c := spec.Cluster
+			params = append(params, float64(c.N), float64(c.Iters), c.MessageBytes())
 		}
 		aw, rec = openArchiveRecord(archDir, params)
 		extra = append(extra, rec)
 	}
+
+	// Per-family streaming sinks ride the same single pass: the slip
+	// counter and front tracker see exactly the rows the accumulators
+	// and the archive record see.
+	famSinks, printFamily := familySinks(spec)
+	extra = append(extra, famSinks...)
 
 	sum, err := sim.RunSummaryTo(sys, tEnd, nSamples, 0.1, 0.15, extra...)
 	if err != nil {
@@ -239,6 +270,10 @@ func reportFamily(spec *scenario.Spec, archDir string) {
 	fmt.Printf("solver: %s\n", sum.Stats)
 	fmt.Printf("asymptotic spread: %.4f rad   max spread: %.4f rad\n",
 		sum.AsymptoticSpread, sum.MaxSpread)
+	if spec.Family == "cluster" {
+		fmt.Printf("iteration skew (spread/2π): asymptotic %.3f   max %.3f iterations\n",
+			sum.AsymptoticSpread/(2*math.Pi), sum.MaxSpread/(2*math.Pi))
+	}
 	fmt.Printf("order parameter: final %.4f   min %.4f\n", sum.FinalOrder, sum.MinOrder)
 	if sum.Resynced {
 		fmt.Printf("resynchronized at t = %.2f\n", sum.ResyncTime)
@@ -246,6 +281,56 @@ func reportFamily(spec *scenario.Spec, archDir string) {
 		fmt.Println("no resynchronization (broken-symmetry or incoherent state)")
 		fmt.Printf("mean |adjacent gap| = %.4f\n", sum.MeanAbsGap)
 	}
+	printFamily()
+}
+
+// familySinks returns the family-specific streaming sinks of a spec plus
+// a closure printing their findings after the run: the Kuramoto slip
+// counter, the continuum front tracker, and the linstab scan-endpoint
+// summary. Families without a dedicated sink get a no-op. (Validation
+// guarantees the section matching Family is the only one set.)
+func familySinks(spec *scenario.Spec) ([]sim.Sink, func()) {
+	switch spec.Family {
+	case "kuramoto":
+		slips := &kuramoto.SlipCounter{}
+		return []sim.Sink{slips}, func() {
+			fmt.Printf("phase slips: %d   drifting oscillators: %d of %d\n",
+				slips.Slips(), slips.Drifting(0.05), spec.Kuramoto.N)
+		}
+	case "continuum":
+		c := spec.Continuum
+		tracker := &continuum.FrontTracker{
+			Grid: continuum.Grid{M: c.M, A: c.A, Periodic: c.Periodic},
+		}
+		return []sim.Sink{tracker}, func() {
+			fr, err := tracker.Finish()
+			if err != nil {
+				fmt.Println("continuum front: not detected")
+				return
+			}
+			fmt.Printf("continuum front: velocity %+.4f x/time (R²=%.2f, detected in %d samples)\n",
+				fr.Velocity, fr.R2, fr.Detected)
+		}
+	case "linstab":
+		var last []float64
+		sink := sim.SinkFunc(func(_ float64, y []float64) {
+			last = append(last[:0], y...)
+		})
+		return []sim.Sink{sink}, func() {
+			if len(last) == 0 {
+				return
+			}
+			if spec.Linstab.FullSpectrum {
+				fmt.Printf("spectrum at scan end: λ_min %.4g … λ_max %.4g (%d eigenvalues)\n",
+					last[0], last[len(last)-1], len(last))
+				return
+			}
+			fmt.Printf("at scan end (u=%g): λ_max %.4g   unstable modes %d   zero modes %d\n",
+				spec.Linstab.To, last[0],
+				int(math.Round(last[1])), int(math.Round(last[2])))
+		}
+	}
+	return nil, func() {}
 }
 
 // reportStream integrates in streaming mode: the sample rows flow through

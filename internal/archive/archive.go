@@ -1,37 +1,7 @@
-// Package archive is a sharded, disk-backed record store for sweep
-// output — the persistence layer the ROADMAP's streaming follow-on asked
-// for. Where sweep.RunReduce reduces every point to an online summary,
-// an archive keeps the full per-point output (parameter vector, sample
-// rows, summary metrics, and optionally a trace.Trace) on disk for
-// post-hoc analysis, the role ITAC trace files play in the paper's
-// workflow.
-//
-// An archive is a directory of shard files. Each shard is written by
-// exactly one goroutine (writes are lock-free), carries a CRC per record
-// and a footer index, and becomes visible under its final name only via
-// an atomic rename on Close — a crashed run leaves only complete shards
-// plus ignorable *.tmp litter, which is what makes sweeps resumable:
-// sweep.RunArchive scans the completed shards and skips their points.
-//
-// Shard layout (all integers little-endian):
-//
-//	header   "POMARC1\n"                                     (8 bytes)
-//	record   [magic u32][payloadLen u32][payload][crc32c u32]  (×N)
-//	footer   [magic u32][count u32][entries][crc32c u32]
-//	entry    [index u64][offset u64][payloadLen u32]           (×count)
-//	trailer  [footerOffset u64][magic u32]                   (12 bytes)
-//
-// Record payload:
-//
-//	index u64 · nParams u32 · params f64×nParams
-//	width u32 · nSamples u32 · rows (t f64 · y f64×width)×nSamples
-//	nMetrics u32 · metrics f64×nMetrics
-//	traceLen u32 · trace bytes (trace.AppendBinary; 0 = none)
-//
-// The row section sits in the middle so a core.Sink can stream solver
-// rows straight into the shard: dimensions are known at Sink.Begin time,
-// metrics and trace only after the run, and just the payload length is
-// patched in afterwards.
+// The shard layout and the streaming write path are documented in
+// doc.go; the byte-level constants in this file are the single source
+// of truth for both the writer and the readers.
+
 package archive
 
 import (

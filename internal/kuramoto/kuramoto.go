@@ -213,28 +213,8 @@ func SweepCoupling(base Config, ks []float64, tEnd float64) ([]SweepPoint, error
 
 // PhaseSlips counts events where an oscillator's phase distance to the
 // mean phase grows past 2π — the slips that the paper's non-periodic
-// potentials forbid but the sine coupling allows.
-func (r *Result) PhaseSlips() int {
-	if len(r.Theta) == 0 {
-		return 0
-	}
-	n := len(r.Theta[0])
-	slips := 0
-	for i := 0; i < n; i++ {
-		var acc float64
-		prev := r.Theta[0][i]
-		for k := 1; k < len(r.Theta); k++ {
-			cur := r.Theta[k][i]
-			// Mean-field drift removed: compare against ensemble mean.
-			mean := mathx.Mean(r.Theta[k])
-			meanPrev := mathx.Mean(r.Theta[k-1])
-			acc += (cur - prev) - (mean - meanPrev)
-			if math.Abs(acc) >= mathx.TwoPi {
-				slips++
-				acc = 0
-			}
-			prev = cur
-		}
-	}
-	return slips
-}
+// potentials forbid but the sine coupling allows. The count is computed
+// by CountSlipsRows (mean-field drift removed: increments are compared
+// against the ensemble mean), which the streaming SlipCounter reproduces
+// bitwise without the materialized trajectory.
+func (r *Result) PhaseSlips() int { return CountSlipsRows(r.Theta) }

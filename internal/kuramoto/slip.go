@@ -1,0 +1,152 @@
+package kuramoto
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// CountSlipsRows counts phase-slip events over materialized trajectory
+// rows: for each oscillator, the drift-corrected phase increment
+// (θ_i(t_k) − θ_i(t_{k−1})) − (θ̄(t_k) − θ̄(t_{k−1})) is accumulated, and
+// every excursion past 2π counts one slip and resets the accumulator.
+// This is the reference implementation the streaming SlipCounter is
+// pinned against bitwise; Result.PhaseSlips delegates here.
+func CountSlipsRows(rows [][]float64) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	// The ensemble means are oscillator-independent; hoisting them out of
+	// the per-oscillator loop is bitwise-neutral (same values, same
+	// per-oscillator accumulation order) and turns the pass from
+	// O(n²·samples) into O(n·samples).
+	means := make([]float64, len(rows))
+	for k, row := range rows {
+		means[k] = mathx.Mean(row)
+	}
+	n := len(rows[0])
+	slips := 0
+	for i := 0; i < n; i++ {
+		var acc float64
+		prev := rows[0][i]
+		for k := 1; k < len(rows); k++ {
+			cur := rows[k][i]
+			acc += (cur - prev) - (means[k] - means[k-1])
+			if math.Abs(acc) >= mathx.TwoPi {
+				slips++
+				acc = 0
+			}
+			prev = cur
+		}
+	}
+	return slips
+}
+
+// SlipCounter counts phase slips and measures per-oscillator drift
+// online — the streaming counterpart of Result.PhaseSlips that needs no
+// materialized trajectory, so million-point Kuramoto sweeps can count
+// slips in O(N) memory. It implements sim.Sink; the slip total is
+// bit-for-bit CountSlipsRows (and hence Result.PhaseSlips) on the same
+// sample rows: per oscillator the same drift-corrected increments are
+// accumulated in the same order, against the same ensemble means.
+type SlipCounter struct {
+	n     int
+	k     int
+	total int
+
+	prev     []float64
+	prevMean float64
+	acc      []float64
+	perOsc   []int
+
+	t0, t1          float64
+	y0, y1          []float64
+	mean0, lastMean float64
+}
+
+// Begin implements sim.Sink.
+func (s *SlipCounter) Begin(n, _ int) {
+	s.n = n
+	s.k = 0
+	s.total = 0
+	if cap(s.prev) < n {
+		s.prev = make([]float64, n)
+		s.acc = make([]float64, n)
+		s.perOsc = make([]int, n)
+		s.y0 = make([]float64, n)
+		s.y1 = make([]float64, n)
+	}
+	s.prev, s.acc, s.perOsc = s.prev[:n], s.acc[:n], s.perOsc[:n]
+	s.y0, s.y1 = s.y0[:n], s.y1[:n]
+	for i := 0; i < n; i++ {
+		s.acc[i] = 0
+		s.perOsc[i] = 0
+	}
+}
+
+// Sample implements sim.Sink.
+func (s *SlipCounter) Sample(t float64, theta []float64) {
+	mean := mathx.Mean(theta)
+	if s.k == 0 {
+		copy(s.prev, theta)
+		s.prevMean = mean
+		s.t0, s.mean0 = t, mean
+		copy(s.y0, theta)
+	} else {
+		drift := mean - s.prevMean
+		for i := 0; i < s.n; i++ {
+			s.acc[i] += (theta[i] - s.prev[i]) - drift
+			if math.Abs(s.acc[i]) >= mathx.TwoPi {
+				s.perOsc[i]++
+				s.total++
+				s.acc[i] = 0
+			}
+			s.prev[i] = theta[i]
+		}
+		s.prevMean = mean
+	}
+	s.t1 = t
+	copy(s.y1, theta)
+	s.lastMean = mean
+	s.k++
+}
+
+// Slips returns the total slip count — equal to Result.PhaseSlips on the
+// materialized run.
+func (s *SlipCounter) Slips() int { return s.total }
+
+// PerOscillator returns each oscillator's slip count (the total is their
+// sum). The returned slice aliases internal state; copy it to retain it
+// across a reused counter.
+func (s *SlipCounter) PerOscillator() []int { return s.perOsc }
+
+// DriftRates returns each oscillator's mean drift rate relative to the
+// ensemble mean over the whole run: the secant
+// ((θ_i(t_end) − θ_i(0)) − (θ̄(t_end) − θ̄(0))) / Δt. Oscillators locked
+// to the mean field drift at ≈ 0; drifting (unentrained) oscillators at
+// their residual natural frequency. Returns nil when fewer than two
+// samples arrived.
+func (s *SlipCounter) DriftRates() []float64 {
+	if s.k < 2 || s.t1 <= s.t0 {
+		return nil
+	}
+	dt := s.t1 - s.t0
+	meanDrift := s.lastMean - s.mean0
+	out := make([]float64, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = ((s.y1[i] - s.y0[i]) - meanDrift) / dt
+	}
+	return out
+}
+
+// Drifting counts oscillators whose |drift rate| exceeds tol — the
+// unentrained population below the synchronization transition.
+func (s *SlipCounter) Drifting(tol float64) int {
+	count := 0
+	for _, d := range s.DriftRates() {
+		if math.Abs(d) > tol {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,48 @@
+package scenario
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestExampleConfigsBuild loads every shipped example config
+// (examples/scenarios/*.json — the runnable configs SCENARIOS.md
+// documents) and builds it through the registry. It also pins doc
+// coverage: every registered family must ship exactly such a config, so
+// adding a family without documenting a runnable scenario fails here.
+func TestExampleConfigsBuild(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example configs found under examples/scenarios")
+	}
+	covered := make(map[string]bool)
+	for _, p := range paths {
+		spec, err := LoadFile(p)
+		if err != nil {
+			t.Errorf("%s: %v", filepath.Base(p), err)
+			continue
+		}
+		sys, tEnd, samples, err := spec.BuildSystem()
+		if err != nil {
+			t.Errorf("%s: build: %v", filepath.Base(p), err)
+			continue
+		}
+		if sys.Dim() < 1 || tEnd <= 0 || samples < 2 {
+			t.Errorf("%s: degenerate controls: dim=%d tEnd=%v samples=%d",
+				filepath.Base(p), sys.Dim(), tEnd, samples)
+		}
+		fam := spec.Family
+		if fam == "" {
+			fam = "pom"
+		}
+		covered[fam] = true
+	}
+	for _, fam := range Families() {
+		if !covered[fam] {
+			t.Errorf("registered family %q ships no example config under examples/scenarios", fam)
+		}
+	}
+}

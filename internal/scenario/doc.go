@@ -1,0 +1,40 @@
+// Package scenario is the declarative layer of the simulation stack: a
+// JSON-serializable Spec selects a model family plus its parameters and
+// run controls, and builds into a sim.System through a model-agnostic
+// family registry — the counterpart of the parameter panel in the
+// paper's MATLAB GUI, generalized to every workload the repository
+// simulates.
+//
+// # Families
+//
+// Six families are registered out of the box:
+//
+//   - "pom" (default when "family" is absent — every pre-registry JSON
+//     file remains valid): the chain physical oscillator model, Eq. (2);
+//   - "kuramoto": the all-to-all Kuramoto baseline, Eq. (1);
+//   - "continuum": the §6 continuum limit (reaction–diffusion field);
+//   - "torus2d": the POM on a 2-D periodic torus with a configurable
+//     coupling radius — the domain-decomposition halo-exchange workload;
+//   - "linstab": linear-stability parameter scans (package linstab)
+//     replayed as a system, streaming eigen-threshold summaries;
+//   - "cluster": the discrete-event MPI cluster simulator (package
+//     cluster) replayed as a phase field via cluster.TraceSystem.
+//
+// A Spec validates (Validate), builds (BuildSystem → system, t_end,
+// samples), and round-trips through JSON (Load / LoadFile / Save).
+// Unknown-family errors list every registered name. SCENARIOS.md is the
+// complete JSON reference: all fields, defaults, validation rules, and
+// one runnable config per family under examples/scenarios/.
+//
+// # Extending
+//
+// New families plug in through RegisterFamily without touching this
+// package's callers: provide a Validate hook, a Build hook returning a
+// sim.System, and the run-control defaults. Everything layered on the
+// unified runtime — streaming sinks, sweep.RunReduce, sweep.RunArchive
+// with bitwise resume, cmd/pomsim — then works over the new family
+// unchanged. A built system may implement TEndSuggester when its
+// natural run length is only known after building (the cluster family's
+// makespan). SCENARIOS.md ("Writing a new family") walks through the
+// recipe.
+package scenario

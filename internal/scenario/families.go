@@ -1,0 +1,578 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/kernels"
+	"repro/internal/linstab"
+	"repro/internal/potential"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// This file registers the non-chain model families added on top of the
+// original three: the 2-D torus POM ("torus2d"), linear-stability
+// parameter scans ("linstab"), and the discrete-event cluster simulator
+// ("cluster"). Each follows the same recipe — a sub-spec struct on Spec,
+// a Validate hook, and a Build hook returning a sim.System — which is
+// the whole cost of joining the streaming / sweep / archive stack (see
+// SCENARIOS.md, "Writing a new family").
+
+// Torus2DSpec carries the torus2d-family parameters: the chain POM's
+// physics on an nx×ny periodic torus with a von Neumann coupling
+// neighborhood of the given radius — the domain-decomposition workload
+// of examples/halo2d as a first-class scenario.
+type Torus2DSpec struct {
+	// NX and NY are the torus dimensions (N = nx·ny ranks).
+	NX int `json:"nx"`
+	NY int `json:"ny"`
+	// Radius is the coupling radius (partners within Manhattan distance
+	// ≤ radius); 0 selects 1, the classic 4-point halo stencil.
+	Radius int `json:"radius,omitempty"`
+	// TComp and TComm are the phase durations, as in the chain POM.
+	TComp float64 `json:"tcomp"`
+	TComm float64 `json:"tcomm"`
+	// Potential selects V.
+	Potential PotentialSpec `json:"potential"`
+	// Rendezvous selects β = 2; GroupedWaitall selects κ = 1 (for the
+	// torus the stencil has no signed offsets, so κ falls back to the
+	// mean degree under separate waits).
+	Rendezvous     bool `json:"rendezvous,omitempty"`
+	GroupedWaitall bool `json:"grouped_waitall,omitempty"`
+	// CouplingOverride replaces v_p when positive; Gain scales the 1/N
+	// normalization (0 = default N).
+	CouplingOverride float64 `json:"coupling_override,omitempty"`
+	Gain             float64 `json:"gain,omitempty"`
+	// Delays lists one-off injections (Rank indexes row-major, rank =
+	// y·nx + x); Jitter adds background period noise; CommLag adds a
+	// constant interaction delay τ.
+	Delays  []DelaySpec `json:"delays,omitempty"`
+	Jitter  *JitterSpec `json:"jitter,omitempty"`
+	CommLag float64     `json:"comm_lag,omitempty"`
+	// Init is "sync" (default), "desync", or "random"; PerturbAmp and
+	// PerturbSeed parameterize "random".
+	Init        string  `json:"init,omitempty"`
+	PerturbAmp  float64 `json:"perturb_amp,omitempty"`
+	PerturbSeed uint64  `json:"perturb_seed,omitempty"`
+}
+
+// CouplingRadius returns the effective coupling radius (0 selects 1) —
+// the value the build uses and archives record.
+func (t *Torus2DSpec) CouplingRadius() int {
+	if t.Radius == 0 {
+		return 1
+	}
+	return t.Radius
+}
+
+// LinstabSpec carries the linstab-family parameters: a linear-stability
+// scan (package linstab) packaged as a replayed sim.System, so
+// eigenvalue studies stream, sweep, and archive like every dynamical
+// family. The scanned parameter u runs from From to To, mapped linearly
+// onto run time [0, t_end]; each sample row is the eigen-threshold
+// summary [λ_max, #unstable, #zero-modes] (or the full ascending
+// spectrum with FullSpectrum).
+type LinstabSpec struct {
+	// N is the oscillator count of the analyzed chain.
+	N int `json:"n"`
+	// Offsets is the communication stencil (must be symmetric — the
+	// spectral analysis requires a symmetric topology); Periodic wraps it.
+	Offsets  []int `json:"offsets"`
+	Periodic bool  `json:"periodic,omitempty"`
+	// Potential selects V (its derivative builds the Jacobian).
+	Potential PotentialSpec `json:"potential"`
+	// K is the effective per-partner coupling; 0 selects 1.
+	K float64 `json:"k,omitempty"`
+	// Scan selects the swept parameter: "gap" (default) sweeps the
+	// uniform wavefront gap of the analyzed state; "coupling" sweeps K
+	// around a fixed state.
+	Scan string `json:"scan,omitempty"`
+	// From and To bound the scan (From < To, both finite).
+	From float64 `json:"from"`
+	To   float64 `json:"to"`
+	// Points is the number of eigensolve knots; 0 selects 33. Between
+	// knots the streamed rows interpolate linearly.
+	Points int `json:"points,omitempty"`
+	// Gap is the fixed wavefront gap of "coupling" scans; 0 selects the
+	// potential's stable zero (lockstep for tanh/kuramoto).
+	Gap float64 `json:"gap,omitempty"`
+	// FullSpectrum streams all N eigenvalues (ascending) per row instead
+	// of the 3-entry threshold summary.
+	FullSpectrum bool `json:"full_spectrum,omitempty"`
+}
+
+// ScanPoints returns the effective knot count (0 selects 33).
+func (l *LinstabSpec) ScanPoints() int {
+	if l.Points == 0 {
+		return 33
+	}
+	return l.Points
+}
+
+// Coupling returns the effective per-partner coupling (0 selects 1).
+func (l *LinstabSpec) Coupling() float64 {
+	if l.K == 0 {
+		return 1
+	}
+	return l.K
+}
+
+// ClusterDelaySpec is a one-off extra-work injection for the cluster
+// family (iteration-indexed, unlike the ODE families' time-indexed
+// DelaySpec).
+type ClusterDelaySpec struct {
+	// Rank is the disturbed rank and Iter the zero-based iteration
+	// receiving the extra work.
+	Rank int `json:"rank"`
+	Iter int `json:"iter"`
+	// Extra is the additional nominal compute time (s).
+	Extra float64 `json:"extra"`
+}
+
+// ClusterSpec carries the cluster-family parameters: a bulk-synchronous
+// MPI program on the discrete-event cluster simulator, replayed as a
+// phase field (cluster.TraceSystem) through the unified runtime. The
+// event simulation runs once at build time; the streamed rows are
+// θ_i(t) = 2π × rank i's iteration progress, so spread/gap metrics read
+// in units of 2π·iterations. When t_end is 0 the run adopts the
+// simulated makespan.
+type ClusterSpec struct {
+	// N is the rank count and Iters the iteration count per rank.
+	N     int `json:"n"`
+	Iters int `json:"iters"`
+	// Machine selects the hardware preset: "meggie" (default) or
+	// "supermuc-ng". Sockets overrides the socket count (0 = fewest
+	// sockets that fit N ranks).
+	Machine string `json:"machine,omitempty"`
+	Sockets int    `json:"sockets,omitempty"`
+	// Kernel selects the per-iteration workload: "pisolver" (default),
+	// "stream", or "schoenauer". ComputeSeconds/ComputeBytes define a
+	// custom kernel instead when ComputeSeconds > 0.
+	Kernel         string  `json:"kernel,omitempty"`
+	ComputeSeconds float64 `json:"compute_seconds,omitempty"`
+	ComputeBytes   float64 `json:"compute_bytes,omitempty"`
+	// Offsets is the communication stencil (default [-1, 1]); Periodic
+	// wraps it into a ring.
+	Offsets  []int `json:"offsets,omitempty"`
+	Periodic bool  `json:"periodic,omitempty"`
+	// MsgBytes is the per-message size (0 selects 1024 — eager-protocol
+	// halo messages).
+	MsgBytes float64 `json:"msg_bytes,omitempty"`
+	// SeparateWaits issues one MPI_Wait per request instead of one
+	// grouped MPI_Waitall (the κ = Σ|d| vs max|d| contrast).
+	SeparateWaits bool `json:"separate_waits,omitempty"`
+	// Delays lists one-off extra-work injections.
+	Delays []ClusterDelaySpec `json:"delays,omitempty"`
+}
+
+// MessageBytes returns the effective per-message size (0 selects 1024).
+func (c *ClusterSpec) MessageBytes() float64 {
+	if c.MsgBytes == 0 {
+		return 1024
+	}
+	return c.MsgBytes
+}
+
+// stencilOffsets returns the effective communication stencil (empty
+// selects [-1, 1]).
+func (c *ClusterSpec) stencilOffsets() []int {
+	if len(c.Offsets) == 0 {
+		return []int{-1, 1}
+	}
+	return c.Offsets
+}
+
+func init() {
+	RegisterFamily("torus2d", FamilyDef{
+		Validate:       validateTorus2D,
+		Build:          buildTorus2D,
+		DefaultTEnd:    torus2dDefaultTEnd,
+		DefaultSamples: pomDefaultSamples,
+	})
+	RegisterFamily("linstab", FamilyDef{
+		Validate:       validateLinstab,
+		Build:          buildLinstab,
+		DefaultTEnd:    func(s *Spec) float64 { return linstabTEnd(s) },
+		DefaultSamples: 201,
+	})
+	RegisterFamily("cluster", FamilyDef{
+		Validate: validateCluster,
+		Build:    buildCluster,
+		// The real default is the simulated makespan, adopted through the
+		// TEndSuggester hook once the trace exists; this estimate only
+		// feeds Spec.controls when the system declines to suggest.
+		DefaultTEnd:    clusterEstimatedTEnd,
+		DefaultSamples: 601,
+	})
+}
+
+// torus2dDefaultTEnd mirrors the chain POM default: 150 natural periods.
+func torus2dDefaultTEnd(s *Spec) float64 {
+	if s.Torus2D == nil {
+		return 0
+	}
+	return 150 * (s.Torus2D.TComp + s.Torus2D.TComm)
+}
+
+// linstabDefaultTEnd is the linstab run length: scans are replayed over
+// one unit of dimensionless time unless the spec says otherwise.
+const linstabDefaultTEnd = 1.0
+
+// linstabTEnd resolves the run length a linstab spec maps its scan onto.
+// It is the single resolution used by both the registered DefaultTEnd
+// hook and the build-time knot spacing: the two must agree, or the
+// streamed rows would correspond to the wrong scan parameter.
+func linstabTEnd(s *Spec) float64 {
+	if s.TEnd != 0 {
+		return s.TEnd
+	}
+	return linstabDefaultTEnd
+}
+
+// validateTorus2D checks the torus2d sub-spec.
+func validateTorus2D(s *Spec) error {
+	t := s.Torus2D
+	if t == nil {
+		return fmt.Errorf("scenario: family %q needs a torus2d section", "torus2d")
+	}
+	if t.NX < 2 || t.NY < 2 {
+		return fmt.Errorf("scenario: torus2d needs nx, ny >= 2, got %dx%d", t.NX, t.NY)
+	}
+	if t.Radius < 0 || t.Radius >= t.NX+t.NY {
+		return fmt.Errorf("scenario: torus2d radius %d out of range for %dx%d", t.Radius, t.NX, t.NY)
+	}
+	if !(t.TComp+t.TComm > 0) || math.IsInf(t.TComp+t.TComm, 0) ||
+		t.TComp < 0 || t.TComm < 0 {
+		return fmt.Errorf("scenario: torus2d needs tcomp + tcomm > 0 with nonnegative finite parts")
+	}
+	if err := t.Potential.validate(); err != nil {
+		return err
+	}
+	switch t.Init {
+	case "", "sync", "desync", "random":
+	default:
+		return fmt.Errorf("scenario: unknown init %q", t.Init)
+	}
+	if err := validateJitter(t.Jitter); err != nil {
+		return err
+	}
+	if err := validateDelays(t.Delays, t.NX*t.NY); err != nil {
+		return err
+	}
+	if t.CommLag < 0 || math.IsNaN(t.CommLag) || math.IsInf(t.CommLag, 0) {
+		return fmt.Errorf("scenario: bad comm_lag %v", t.CommLag)
+	}
+	return nil
+}
+
+// buildTorus2D builds the torus POM into its sim.System (a *core.Model
+// on the torus topology).
+func buildTorus2D(s *Spec) (sim.System, error) {
+	t := s.Torus2D
+	tp, err := topology.Torus2DRadius(t.NX, t.NY, t.CouplingRadius())
+	if err != nil {
+		return nil, err
+	}
+	p := pomParams{
+		tComp: t.TComp, tComm: t.TComm,
+		potential:  t.Potential,
+		rendezvous: t.Rendezvous, grouped: t.GroupedWaitall,
+		couplingOverride: t.CouplingOverride, gain: t.Gain,
+		delays: t.Delays, jitter: t.Jitter, commLag: t.CommLag,
+		init: t.Init, perturbAmp: t.PerturbAmp, perturbSeed: t.PerturbSeed,
+	}
+	m, err := p.model(tp)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// validateLinstab checks the linstab sub-spec.
+func validateLinstab(s *Spec) error {
+	l := s.Linstab
+	if l == nil {
+		return fmt.Errorf("scenario: family %q needs a linstab section", "linstab")
+	}
+	if l.N < 2 {
+		return fmt.Errorf("scenario: linstab needs n >= 2, got %d", l.N)
+	}
+	if len(l.Offsets) == 0 {
+		return fmt.Errorf("scenario: linstab needs a stencil")
+	}
+	// The spectral analysis needs a symmetric topology; catch asymmetric
+	// stencils here so Validate is a true no-build pre-flight rather than
+	// letting the first eigensolve fail mid-sweep. Building the stencil
+	// is the exact semantics (wrapping can symmetrize an asymmetric
+	// offset list on a ring) and cheap at validation scale.
+	tp, err := topology.Stencil(l.N, l.Offsets, l.Periodic)
+	if err != nil {
+		return err
+	}
+	if !tp.IsSymmetric() {
+		return fmt.Errorf("scenario: linstab stencil %v is not symmetric (spectral analysis needs a symmetric topology)", l.Offsets)
+	}
+	if err := l.Potential.validate(); err != nil {
+		return err
+	}
+	if l.K < 0 || math.IsNaN(l.K) || math.IsInf(l.K, 0) {
+		return fmt.Errorf("scenario: bad linstab coupling %v", l.K)
+	}
+	switch l.Scan {
+	case "", "gap", "coupling":
+	default:
+		return fmt.Errorf("scenario: unknown linstab scan %q", l.Scan)
+	}
+	if math.IsNaN(l.From) || math.IsInf(l.From, 0) ||
+		math.IsNaN(l.To) || math.IsInf(l.To, 0) || !(l.To > l.From) {
+		return fmt.Errorf("scenario: linstab scan range [%v, %v] must be finite and increasing", l.From, l.To)
+	}
+	if l.Points != 0 && l.Points < 2 {
+		return fmt.Errorf("scenario: linstab needs points >= 2, got %d", l.Points)
+	}
+	if math.IsNaN(l.Gap) || math.IsInf(l.Gap, 0) {
+		return fmt.Errorf("scenario: bad linstab gap %v", l.Gap)
+	}
+	return nil
+}
+
+// buildLinstab builds the scan into its sim.System (a *linstab.Scan).
+// Every eigensolve runs here, once per knot; the returned system only
+// replays the results.
+func buildLinstab(s *Spec) (sim.System, error) {
+	l := s.Linstab
+	tp, err := topology.Stencil(l.N, l.Offsets, l.Periodic)
+	if err != nil {
+		return nil, err
+	}
+	pot := l.Potential.build()
+	k := l.Coupling()
+	row := func(cl *linstab.Classification) []float64 {
+		if l.FullSpectrum {
+			return cl.Eigenvalues
+		}
+		return linstab.SummaryRow(cl)
+	}
+	var eval func(u float64) ([]float64, error)
+	switch l.Scan {
+	case "coupling":
+		gap := l.Gap
+		if gap == 0 {
+			if a, ok := pot.(potential.Analyzable); ok {
+				gap = a.StableZero()
+			}
+		}
+		theta := linstab.WavefrontState(l.N, gap)
+		eval = func(u float64) ([]float64, error) {
+			cl, err := linstab.Classify(tp, pot, theta, u)
+			if err != nil {
+				return nil, err
+			}
+			return row(cl), nil
+		}
+	default: // "gap"
+		eval = func(u float64) ([]float64, error) {
+			cl, err := linstab.Classify(tp, pot, linstab.WavefrontState(l.N, u), k)
+			if err != nil {
+				return nil, err
+			}
+			return row(cl), nil
+		}
+	}
+	return linstab.NewScan(eval, l.From, l.To, l.ScanPoints(), linstabTEnd(s))
+}
+
+// clusterEstimatedTEnd estimates the cluster run length from the spec
+// alone: iterations × nominal per-iteration compute time. The built
+// TraceSystem overrides it with the exact makespan via TEndSuggester.
+func clusterEstimatedTEnd(s *Spec) float64 {
+	c := s.Cluster
+	if c == nil {
+		return 0
+	}
+	work, err := clusterWorkload(c)
+	if err != nil {
+		return 0
+	}
+	return float64(c.Iters) * work.Seconds
+}
+
+// clusterWorkload resolves the per-iteration workload of a cluster spec.
+func clusterWorkload(c *ClusterSpec) (cluster.Workload, error) {
+	if c.ComputeSeconds > 0 {
+		return cluster.Workload{Seconds: c.ComputeSeconds, Bytes: c.ComputeBytes}, nil
+	}
+	name := c.Kernel
+	if name == "" {
+		name = "pisolver"
+	}
+	k, err := kernels.ByName(name)
+	if err != nil {
+		return cluster.Workload{}, err
+	}
+	return k.Workload(), nil
+}
+
+// clusterMachine resolves the machine preset of a cluster spec.
+func clusterMachine(c *ClusterSpec) (cluster.MachineConfig, error) {
+	var mc func(int) cluster.MachineConfig
+	switch c.Machine {
+	case "", "meggie":
+		mc = cluster.Meggie
+	case "supermuc", "supermuc-ng":
+		mc = cluster.SuperMUCNG
+	default:
+		return cluster.MachineConfig{}, fmt.Errorf("scenario: unknown machine %q", c.Machine)
+	}
+	probe := mc(1)
+	sockets := c.Sockets
+	if sockets == 0 {
+		sockets = (c.N + probe.CoresPerSocket - 1) / probe.CoresPerSocket
+	}
+	return mc(sockets), nil
+}
+
+// validateCluster checks the cluster sub-spec.
+func validateCluster(s *Spec) error {
+	c := s.Cluster
+	if c == nil {
+		return fmt.Errorf("scenario: family %q needs a cluster section", "cluster")
+	}
+	if c.N < 2 {
+		return fmt.Errorf("scenario: cluster needs n >= 2, got %d", c.N)
+	}
+	if c.Iters < 1 {
+		return fmt.Errorf("scenario: cluster needs iters >= 1, got %d", c.Iters)
+	}
+	if c.Sockets < 0 {
+		return fmt.Errorf("scenario: negative sockets %d", c.Sockets)
+	}
+	mc, err := clusterMachine(c)
+	if err != nil {
+		return err
+	}
+	if c.N > mc.Cores() {
+		return fmt.Errorf("scenario: cluster needs %d ranks but %s with %d socket(s) has %d cores",
+			c.N, mc.Name, mc.Sockets, mc.Cores())
+	}
+	if c.ComputeSeconds < 0 || math.IsNaN(c.ComputeSeconds) || math.IsInf(c.ComputeSeconds, 0) {
+		return fmt.Errorf("scenario: bad compute_seconds %v", c.ComputeSeconds)
+	}
+	if c.ComputeBytes < 0 || math.IsNaN(c.ComputeBytes) || math.IsInf(c.ComputeBytes, 0) {
+		return fmt.Errorf("scenario: bad compute_bytes %v", c.ComputeBytes)
+	}
+	if _, err := clusterWorkload(c); err != nil {
+		return err
+	}
+	// Validate is the no-build pre-flight: check the (effective) stencil
+	// here so a bad offset list fails before any sweep work, not from
+	// the first BuildSystem mid-sweep.
+	if _, err := topology.Stencil(c.N, c.stencilOffsets(), c.Periodic); err != nil {
+		return err
+	}
+	if c.MsgBytes < 0 || math.IsNaN(c.MsgBytes) || math.IsInf(c.MsgBytes, 0) {
+		return fmt.Errorf("scenario: bad msg_bytes %v", c.MsgBytes)
+	}
+	for i, d := range c.Delays {
+		if d.Rank < 0 || d.Rank >= c.N {
+			return fmt.Errorf("scenario: cluster delay %d rank %d out of range", i, d.Rank)
+		}
+		if d.Iter < 0 || d.Iter >= c.Iters {
+			return fmt.Errorf("scenario: cluster delay %d iter %d out of range", i, d.Iter)
+		}
+		if !(d.Extra > 0) || math.IsInf(d.Extra, 0) {
+			return fmt.Errorf("scenario: cluster delay %d needs finite extra > 0", i)
+		}
+	}
+	return nil
+}
+
+// buildCluster runs the discrete-event simulation and wraps its trace as
+// a sim.System. The event simulation is deterministic in the spec, so
+// archived records built from the returned system depend only on the
+// spec — the bitwise-resume property.
+func buildCluster(s *Spec) (sim.System, error) {
+	c := s.Cluster
+	tp, err := topology.Stencil(c.N, c.stencilOffsets(), c.Periodic)
+	if err != nil {
+		return nil, err
+	}
+	work, err := clusterWorkload(c)
+	if err != nil {
+		return nil, err
+	}
+	progs, err := cluster.BulkSynchronousWaits(tp, work, c.MessageBytes(), c.Iters, !c.SeparateWaits)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := clusterMachine(c)
+	if err != nil {
+		return nil, err
+	}
+	opts := cluster.Options{}
+	for _, d := range c.Delays {
+		opts.Delays = append(opts.Delays, cluster.DelayInjection{
+			Rank: d.Rank, Iter: d.Iter, Extra: d.Extra,
+		})
+	}
+	engine, err := cluster.NewSim(mc, progs, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.Run()
+	if err != nil {
+		return nil, err
+	}
+	return res.System()
+}
+
+// Torus2DScenario returns a ready-to-run torus2d spec: the halo2d story
+// (desync potential on a torus, one delayed rank) as a scenario.
+func Torus2DScenario(nx, ny int, sigma float64) *Spec {
+	n := nx * ny
+	return &Spec{
+		Name:   "torus2d",
+		Family: "torus2d",
+		Torus2D: &Torus2DSpec{
+			NX: nx, NY: ny,
+			TComp: 0.8, TComm: 0.2,
+			Potential:   PotentialSpec{Kind: "desync", Sigma: sigma},
+			Init:        "random",
+			PerturbAmp:  0.02,
+			PerturbSeed: 2,
+			Delays:      []DelaySpec{{Rank: n / 2, Start: 20, Duration: 2}},
+		},
+	}
+}
+
+// LinstabScenario returns a ready-to-run linstab spec: the wavefront-gap
+// scan from lockstep to past the desync potential's stable zero.
+func LinstabScenario(n int, sigma float64) *Spec {
+	return &Spec{
+		Name:   "linstab",
+		Family: "linstab",
+		Linstab: &LinstabSpec{
+			N:         n,
+			Offsets:   []int{-1, 1},
+			Potential: PotentialSpec{Kind: "desync", Sigma: sigma},
+			From:      0,
+			To:        sigma, // past the stable zero 2σ/3
+		},
+	}
+}
+
+// ClusterScenario returns a ready-to-run cluster spec: a delayed
+// PISOLVER ring, the paper's idle-wave experiment on the event
+// simulator.
+func ClusterScenario(n, iters int) *Spec {
+	return &Spec{
+		Name:   "cluster",
+		Family: "cluster",
+		Cluster: &ClusterSpec{
+			N: n, Iters: iters, Periodic: true,
+			Delays: []ClusterDelaySpec{{Rank: n / 2, Iter: iters / 4, Extra: 0.5}},
+		},
+	}
+}

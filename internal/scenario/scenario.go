@@ -1,12 +1,3 @@
-// Package scenario provides a JSON-serializable description of a complete
-// experiment — the counterpart of the parameter panel in the paper's
-// MATLAB GUI, generalized into a model-agnostic registry. A Spec selects
-// a model family ("pom", "kuramoto", or "continuum"; empty means "pom",
-// keeping every pre-registry JSON file valid), carries the per-family
-// parameters, and builds into a sim.System, so everything layered on the
-// unified runtime — streaming sinks, sweep.RunReduce, sweep.RunArchive,
-// cmd/pomsim — works uniformly over any family. New families plug in
-// through RegisterFamily without touching this package's callers.
 package scenario
 
 import (
@@ -131,7 +122,9 @@ type Spec struct {
 	// Name labels the scenario in outputs.
 	Name string `json:"name"`
 	// Family selects the model family: "pom" (default when empty),
-	// "kuramoto", or "continuum" — or any family added via RegisterFamily.
+	// "kuramoto", "continuum", "torus2d", "linstab", or "cluster" — or
+	// any family added via RegisterFamily. SCENARIOS.md documents every
+	// family's JSON surface.
 	Family string `json:"family,omitempty"`
 	// N is the oscillator count.
 	N int `json:"n,omitempty"`
@@ -162,10 +155,14 @@ type Spec struct {
 	Init        string  `json:"init,omitempty"`
 	PerturbAmp  float64 `json:"perturb_amp,omitempty"`
 	PerturbSeed uint64  `json:"perturb_seed,omitempty"`
-	// Kuramoto and Continuum carry the non-POM family parameters; exactly
-	// the sub-spec matching Family may be set.
+	// Kuramoto, Continuum, Torus2D, Linstab, and Cluster carry the
+	// non-POM family parameters; exactly the sub-spec matching Family may
+	// be set.
 	Kuramoto  *KuramotoSpec  `json:"kuramoto,omitempty"`
 	Continuum *ContinuumSpec `json:"continuum,omitempty"`
+	Torus2D   *Torus2DSpec   `json:"torus2d,omitempty"`
+	Linstab   *LinstabSpec   `json:"linstab,omitempty"`
+	Cluster   *ClusterSpec   `json:"cluster,omitempty"`
 	// TEnd and Samples control the integration. Zero selects the family
 	// default (POM: 150 periods / 601 samples; others: 40 time units /
 	// 201 samples).
@@ -183,7 +180,8 @@ type FamilyDef struct {
 	Build func(s *Spec) (sim.System, error)
 	// DefaultTEnd and DefaultSamples are used when the Spec leaves TEnd /
 	// Samples zero. DefaultTEnd may inspect the spec (the POM default is
-	// 150 natural periods).
+	// 150 natural periods); a built system implementing TEndSuggester
+	// overrides the default with its post-build knowledge.
 	DefaultTEnd    func(s *Spec) float64
 	DefaultSamples int
 }
@@ -226,24 +224,44 @@ func (s *Spec) family() (string, FamilyDef, error) {
 	return name, def, nil
 }
 
-// validateControls checks the family-independent run controls.
-func (s *Spec) validateControls() error {
+// validateControls checks the family-independent run controls and the
+// sub-spec exclusivity rule: only the section matching the resolved
+// family may be set. Without the check a stray extra section would pass
+// validation and then mislead anything that discriminates on section
+// presence (pomsim's per-family sinks and archive params, readers of
+// saved specs).
+func (s *Spec) validateControls(family string) error {
 	if s.TEnd < 0 || math.IsNaN(s.TEnd) || math.IsInf(s.TEnd, 0) {
 		return fmt.Errorf("scenario: bad t_end %v", s.TEnd)
 	}
 	if s.Samples < 0 {
 		return fmt.Errorf("scenario: negative samples %d", s.Samples)
 	}
+	sections := []struct {
+		name string
+		set  bool
+	}{
+		{"kuramoto", s.Kuramoto != nil},
+		{"continuum", s.Continuum != nil},
+		{"torus2d", s.Torus2D != nil},
+		{"linstab", s.Linstab != nil},
+		{"cluster", s.Cluster != nil},
+	}
+	for _, sec := range sections {
+		if sec.set && sec.name != family {
+			return fmt.Errorf("scenario: family %q must not carry a %q section", family, sec.name)
+		}
+	}
 	return nil
 }
 
 // Validate checks the spec without building it.
 func (s *Spec) Validate() error {
-	_, def, err := s.family()
+	name, def, err := s.family()
 	if err != nil {
 		return err
 	}
-	if err := s.validateControls(); err != nil {
+	if err := s.validateControls(name); err != nil {
 		return err
 	}
 	return def.Validate(s)
@@ -262,17 +280,26 @@ func (s *Spec) controls(def FamilyDef) (tEnd float64, samples int) {
 	return tEnd, samples
 }
 
+// TEndSuggester is implemented by built systems that know their natural
+// run length only after building — the cluster family's trace replay
+// learns its makespan from the event simulation. When the spec leaves
+// t_end zero, BuildSystem prefers the suggestion over the family's
+// DefaultTEnd estimate. An explicit t_end always wins.
+type TEndSuggester interface {
+	SuggestTEnd() float64
+}
+
 // BuildSystem builds the spec into a sim.System plus run controls,
 // uniformly over every registered family — the entry point the unified
 // streaming/sweep/archive stack and cmd/pomsim consume. Each layer runs
 // once: family resolution, control and family validation, then the
 // family's Build hook.
 func (s *Spec) BuildSystem() (sys sim.System, tEnd float64, samples int, err error) {
-	_, def, err := s.family()
+	name, def, err := s.family()
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	if err := s.validateControls(); err != nil {
+	if err := s.validateControls(name); err != nil {
 		return nil, 0, 0, err
 	}
 	if err := def.Validate(s); err != nil {
@@ -283,6 +310,13 @@ func (s *Spec) BuildSystem() (sys sim.System, tEnd float64, samples int, err err
 		return nil, 0, 0, err
 	}
 	tEnd, samples = s.controls(def)
+	if s.TEnd == 0 {
+		if sug, ok := sys.(TEndSuggester); ok {
+			if v := sug.SuggestTEnd(); v > 0 {
+				tEnd = v
+			}
+		}
+	}
 	return sys, tEnd, samples, nil
 }
 
@@ -332,15 +366,30 @@ func validatePOM(s *Spec) error {
 	default:
 		return fmt.Errorf("scenario: unknown init %q", s.Init)
 	}
-	if s.Jitter != nil {
-		switch s.Jitter.Dist {
-		case "gaussian", "uniform", "exponential":
-		default:
-			return fmt.Errorf("scenario: unknown jitter dist %q", s.Jitter.Dist)
-		}
+	if err := validateJitter(s.Jitter); err != nil {
+		return err
 	}
-	for i, d := range s.Delays {
-		if d.Rank < 0 || d.Rank >= s.N {
+	return validateDelays(s.Delays, s.N)
+}
+
+// validateJitter checks a jitter block (shared by the POM-like families).
+func validateJitter(j *JitterSpec) error {
+	if j == nil {
+		return nil
+	}
+	switch j.Dist {
+	case "gaussian", "uniform", "exponential":
+		return nil
+	default:
+		return fmt.Errorf("scenario: unknown jitter dist %q", j.Dist)
+	}
+}
+
+// validateDelays checks a delay list against the rank count (shared by
+// the POM-like families).
+func validateDelays(delays []DelaySpec, n int) error {
+	for i, d := range delays {
+		if d.Rank < 0 || d.Rank >= n {
 			return fmt.Errorf("scenario: delay %d rank %d out of range", i, d.Rank)
 		}
 		if d.Duration <= 0 {
@@ -416,7 +465,7 @@ func (s *Spec) Build() (cfg core.Config, tEnd float64, samples int, err error) {
 	}
 	// Same once-per-layer sequence as BuildSystem (Validate would resolve
 	// the family a second time).
-	if err = s.validateControls(); err != nil {
+	if err = s.validateControls(name); err != nil {
 		return core.Config{}, 0, 0, err
 	}
 	if err = def.Validate(s); err != nil {
@@ -430,39 +479,52 @@ func (s *Spec) Build() (cfg core.Config, tEnd float64, samples int, err error) {
 	return cfg, tEnd, samples, nil
 }
 
-// buildPOMConfig assembles the core.Config of a POM spec (validation has
+// pomParams carries the family-independent POM knobs shared by the
+// chain ("pom") and torus2d families, so both assemble their core.Config
+// through one code path.
+type pomParams struct {
+	tComp, tComm        float64
+	potential           PotentialSpec
+	rendezvous, grouped bool
+	couplingOverride    float64
+	gain                float64
+	delays              []DelaySpec
+	jitter              *JitterSpec
+	commLag             float64
+	init                string
+	perturbAmp          float64
+	perturbSeed         uint64
+}
+
+// config assembles the core.Config on the given topology (validation has
 // already passed).
-func (s *Spec) buildPOMConfig() (core.Config, error) {
-	tp, err := topology.Stencil(s.N, s.Offsets, s.Periodic)
-	if err != nil {
-		return core.Config{}, err
-	}
+func (p pomParams) config(tp *topology.Topology) core.Config {
 	cfg := core.Config{
-		N:                s.N,
-		TComp:            s.TComp,
-		TComm:            s.TComm,
-		Potential:        s.Potential.build(),
+		N:                tp.N,
+		TComp:            p.tComp,
+		TComm:            p.tComm,
+		Potential:        p.potential.build(),
 		Topology:         tp,
-		CouplingOverride: s.CouplingOverride,
-		Gain:             s.Gain,
-		PerturbAmp:       s.PerturbAmp,
-		PerturbSeed:      s.PerturbSeed,
+		CouplingOverride: p.couplingOverride,
+		Gain:             p.gain,
+		PerturbAmp:       p.perturbAmp,
+		PerturbSeed:      p.perturbSeed,
 	}
-	if s.Rendezvous {
+	if p.rendezvous {
 		cfg.Protocol = topology.Rendezvous
 	}
-	if s.GroupedWaitall {
+	if p.grouped {
 		cfg.WaitMode = topology.GroupedWaitall
 	}
-	switch s.Init {
+	switch p.init {
 	case "desync":
 		cfg.Init = core.Desynchronized
 	case "random":
 		cfg.Init = core.RandomPhases
 	}
-	period := s.TComp + s.TComm
+	period := p.tComp + p.tComm
 	var local noise.Sum
-	for _, d := range s.Delays {
+	for _, d := range p.delays {
 		extra := d.Extra
 		if extra == 0 {
 			extra = 100 * period
@@ -471,12 +533,12 @@ func (s *Spec) buildPOMConfig() (core.Config, error) {
 			Rank: d.Rank, Start: d.Start, Duration: d.Duration, Extra: extra,
 		})
 	}
-	if s.Jitter != nil {
-		j := noise.Jitter{Amp: s.Jitter.Amp, Refresh: s.Jitter.Refresh, Seed: s.Jitter.Seed}
+	if p.jitter != nil {
+		j := noise.Jitter{Amp: p.jitter.Amp, Refresh: p.jitter.Refresh, Seed: p.jitter.Seed}
 		if j.Refresh == 0 {
 			j.Refresh = period
 		}
-		switch s.Jitter.Dist {
+		switch p.jitter.Dist {
 		case "uniform":
 			j.Dist = noise.UniformSym
 		case "exponential":
@@ -489,10 +551,38 @@ func (s *Spec) buildPOMConfig() (core.Config, error) {
 	if len(local) > 0 {
 		cfg.LocalNoise = local
 	}
-	if s.CommLag > 0 {
-		cfg.InteractionNoise = noise.ConstantLag{Lag: s.CommLag}
+	if p.commLag > 0 {
+		cfg.InteractionNoise = noise.ConstantLag{Lag: p.commLag}
 	}
-	return cfg, nil
+	return cfg
+}
+
+// model builds the configured core.Model on the given topology.
+func (p pomParams) model(tp *topology.Topology) (*core.Model, error) {
+	return core.New(p.config(tp))
+}
+
+// pomParams lifts the chain-POM (top-level) fields into the shared
+// parameter set.
+func (s *Spec) pomParams() pomParams {
+	return pomParams{
+		tComp: s.TComp, tComm: s.TComm,
+		potential:  s.Potential,
+		rendezvous: s.Rendezvous, grouped: s.GroupedWaitall,
+		couplingOverride: s.CouplingOverride, gain: s.Gain,
+		delays: s.Delays, jitter: s.Jitter, commLag: s.CommLag,
+		init: s.Init, perturbAmp: s.PerturbAmp, perturbSeed: s.PerturbSeed,
+	}
+}
+
+// buildPOMConfig assembles the core.Config of a POM spec (validation has
+// already passed).
+func (s *Spec) buildPOMConfig() (core.Config, error) {
+	tp, err := topology.Stencil(s.N, s.Offsets, s.Periodic)
+	if err != nil {
+		return core.Config{}, err
+	}
+	return s.pomParams().config(tp), nil
 }
 
 // buildPOMSystem builds the POM family into its sim.System (a

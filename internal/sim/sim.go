@@ -1,16 +1,3 @@
-// Package sim is the unified simulation runtime shared by every model
-// family in the repository — the POM core (core.Model), the Kuramoto
-// baseline (kuramoto.Model), and the continuum field (continuum.Field)
-// all implement the System contract and route their integrations through
-// Run / RunStream here. One runtime means one implementation of the
-// sample-plan machinery, the streaming-sink protocol, the accumulator
-// set, and the worker-pool/chunking logic — and everything built on top
-// (sweep.RunReduce, sweep.RunArchive, the scenario registry, cmd/pomsim)
-// works uniformly over any family.
-//
-// The split mirrors inference-sim's ClusterSimulator/DeploymentConfig
-// architecture: declarative per-family configs build a System, and a
-// single simulator core owns integration, determinism, and statistics.
 package sim
 
 import (

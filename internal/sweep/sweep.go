@@ -1,8 +1,3 @@
-// Package sweep runs embarrassingly parallel parameter studies of the
-// oscillator model and the cluster simulator across a worker pool — the
-// batch-mode counterpart of the paper's interactive MATLAB exploration.
-// Results are returned in input order regardless of completion order, and
-// a failure in any point cancels the remaining work.
 package sweep
 
 import (

@@ -171,25 +171,60 @@ func AllToAll(n int) (*Topology, error) {
 // Torus2D returns a 2-D periodic Cartesian topology (nx×ny ranks, 4-point
 // stencil) as used by domain-decomposed halo exchanges.
 func Torus2D(nx, ny int) (*Topology, error) {
+	return Torus2DRadius(nx, ny, 1)
+}
+
+// Torus2DRadius generalizes Torus2D to a von Neumann neighborhood of the
+// given coupling radius: rank (x, y) communicates with every distinct
+// rank within Manhattan distance ≤ radius on the periodic nx×ny torus
+// (radius 1 is the classic 4-point halo stencil, radius 2 adds the
+// 8 next-nearest partners, …). On small tori several lattice offsets can
+// wrap onto the same rank; duplicates collapse to a single edge so T
+// stays a 0/1 matrix. (Normalization note: on a 2-wide torus the two
+// wrapped directions reach the same rank, which the pre-radius Torus2D
+// summed into a weight-2 entry; it is now one unit edge. The POM
+// right-hand side walks neighbor indices and never read the weight, so
+// model dynamics are unchanged — only weight-reading consumers such as
+// the linstab Jacobian see the normalized value.)
+func Torus2DRadius(nx, ny, radius int) (*Topology, error) {
 	if nx < 2 || ny < 2 {
 		return nil, fmt.Errorf("topology: Torus2D needs nx, ny >= 2")
+	}
+	if radius < 1 {
+		return nil, fmt.Errorf("topology: Torus2D coupling radius must be >= 1, got %d", radius)
+	}
+	if radius >= nx+ny {
+		return nil, fmt.Errorf("topology: Torus2D coupling radius %d exceeds the %dx%d torus", radius, nx, ny)
 	}
 	n := nx * ny
 	b := linalg.NewBuilder(n, n)
 	id := func(x, y int) int { return ((y+ny)%ny)*nx + (x+nx)%nx }
+	seen := make([]int, n) // seen[j] == i+1 marks edge i→j already added
 	for y := 0; y < ny; y++ {
 		for x := 0; x < nx; x++ {
 			i := id(x, y)
-			for _, nb := range []int{id(x-1, y), id(x+1, y), id(x, y-1), id(x, y+1)} {
-				if nb != i {
+			for dy := -radius; dy <= radius; dy++ {
+				for dx := -radius; dx <= radius; dx++ {
+					d := abs(dx) + abs(dy)
+					if d == 0 || d > radius {
+						continue
+					}
+					nb := id(x+dx, y+dy)
+					if nb == i || seen[nb] == i+1 {
+						continue
+					}
+					seen[nb] = i + 1
 					b.Add(i, nb, 1)
 				}
 			}
 		}
 	}
 	m := b.Build()
-	return &Topology{N: n, T: m, Periodic: true,
-		Label: fmt.Sprintf("torus %dx%d", nx, ny), flat: buildFlat(m)}, nil
+	label := fmt.Sprintf("torus %dx%d", nx, ny)
+	if radius > 1 {
+		label = fmt.Sprintf("torus %dx%d r=%d", nx, ny, radius)
+	}
+	return &Topology{N: n, T: m, Periodic: true, Label: label, flat: buildFlat(m)}, nil
 }
 
 // Random returns a symmetric Erdős–Rényi topology where each unordered

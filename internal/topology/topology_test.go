@@ -123,6 +123,66 @@ func TestTorus2D(t *testing.T) {
 	}
 }
 
+func TestTorus2DRadius(t *testing.T) {
+	// Radius 2 on a large-enough torus: the von Neumann neighborhood has
+	// 2r(r+1) = 12 distinct partners, and the matrix stays symmetric.
+	tp, err := Torus2DRadius(6, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.N != 30 {
+		t.Fatalf("N = %d", tp.N)
+	}
+	for i := 0; i < tp.N; i++ {
+		if tp.Degree(i) != 12 {
+			t.Errorf("rank %d degree = %d, want 12", i, tp.Degree(i))
+		}
+	}
+	if !tp.IsSymmetric() {
+		t.Error("torus must be symmetric")
+	}
+
+	// Radius 1 must be exactly Torus2D.
+	r1, err := Torus2DRadius(4, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := Torus2D(4, 3)
+	for i := 0; i < plain.N; i++ {
+		for j := 0; j < plain.N; j++ {
+			if r1.T.At(i, j) != plain.T.At(i, j) {
+				t.Fatalf("radius-1 torus differs from Torus2D at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// Small torus: wrapped offsets collapse to one 0/1 edge, never 2.
+	small, err := Torus2DRadius(3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < small.N; i++ {
+		for j := 0; j < small.N; j++ {
+			if v := small.T.At(i, j); v != 0 && v != 1 {
+				t.Fatalf("T[%d,%d] = %v, want 0 or 1", i, j, v)
+			}
+			if i == j && small.T.At(i, j) != 0 {
+				t.Fatalf("self-edge at rank %d", i)
+			}
+		}
+	}
+	if !small.IsSymmetric() {
+		t.Error("wrapped torus must stay symmetric")
+	}
+
+	if _, err := Torus2DRadius(4, 4, 0); err == nil {
+		t.Error("want error for radius < 1")
+	}
+	if _, err := Torus2DRadius(3, 3, 7); err == nil {
+		t.Error("want error for oversized radius")
+	}
+}
+
 func TestRandomSymmetricAndDeterministic(t *testing.T) {
 	r1 := stats.NewRNG(99)
 	r2 := stats.NewRNG(99)
