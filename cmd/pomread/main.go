@@ -8,12 +8,23 @@
 //	pomread -dir runs/desync              # per-shard and whole-archive summary
 //	pomread -dir runs/desync -index 17    # dump one point's record
 //	pomread -dir runs/desync -verify      # CRC-check every record
+//	pomread -dir runs/scan -merge out     # compact into a canonical archive
+//	pomread -dir out -compare out2        # record-level equality of two archives
+//	pomread -dir runs/scan -missing 64    # points of 0..63 not yet archived
 //
 // The dump prints the parameter vector, metrics, sample dimensions,
 // first/last rows, and — when the record embeds a trace — its per-rank
 // utilization. -verify walks every record through its checksum and
 // reports the first corruption, so a damaged archive is diagnosed
 // instead of silently mis-read.
+//
+// -merge, -compare, and -missing are the read-side half of the
+// distributed sweeps (internal/dsweep): merge compacts a fleet's
+// per-worker shards into a canonical layout (ascending point order,
+// fixed shard packing — two merges of the same records are identical
+// file-for-file, the chaos-test invariant), compare verifies two
+// archives hold bitwise-identical records regardless of shard layout,
+// and missing reports sweep coverage.
 package main
 
 import (
@@ -23,6 +34,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/archive"
+	"repro/internal/dsweep"
 )
 
 func main() {
@@ -30,14 +42,45 @@ func main() {
 	log.SetPrefix("pomread: ")
 
 	var (
-		dir    = flag.String("dir", "", "archive directory (required)")
-		index  = flag.Int("index", -1, "dump the record of this point index (-1 = summarize the archive)")
-		verify = flag.Bool("verify", false, "read and CRC-check every record")
-		rows   = flag.Int("rows", 2, "sample rows to print from each end of a dumped record")
+		dir      = flag.String("dir", "", "archive directory (required)")
+		index    = flag.Int("index", -1, "dump the record of this point index (-1 = summarize the archive)")
+		verify   = flag.Bool("verify", false, "read and CRC-check every record")
+		rows     = flag.Int("rows", 2, "sample rows to print from each end of a dumped record")
+		merge    = flag.String("merge", "", "compact -dir into a canonical archive at this (empty) directory")
+		perShard = flag.Int("per-shard", 0, "records per merged shard (0 = default)")
+		compare  = flag.String("compare", "", "verify -dir and this archive hold bitwise-identical records")
+		missing  = flag.Int("missing", 0, "report which of points 0..N-1 are absent from -dir")
 	)
 	flag.Parse()
 	if *dir == "" {
 		log.Fatal("-dir is required")
+	}
+
+	switch {
+	case *merge != "":
+		stats, err := dsweep.Merge(*dir, *merge, *perShard)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("merged %d points into %d canonical shard(s) at %s\n", stats.Points, stats.Shards, *merge)
+		return
+	case *compare != "":
+		if err := dsweep.Equal(*dir, *compare); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("OK: %s and %s hold bitwise-identical records\n", *dir, *compare)
+		return
+	case *missing > 0:
+		gaps, err := dsweep.Missing(*dir, *missing)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(gaps) == 0 {
+			fmt.Printf("OK: all %d points archived\n", *missing)
+			return
+		}
+		fmt.Printf("%d of %d points missing: %v\n", len(gaps), *missing, gaps)
+		return
 	}
 
 	a, err := archive.OpenDir(*dir)

@@ -9,6 +9,14 @@
 // cmd/pomread or internal/archive. Archiving implies streaming mode, so
 // it composes with -stream and excludes -svg.
 //
+// With -sweep DIR the process instead joins a fault-tolerant
+// distributed sweep as one lease-coordinated worker (internal/dsweep):
+// the scenario is swept along -sweep-param over a -sweep-points grid,
+// every point's trajectory lands in the shared archive at DIR, and any
+// number of pomsim processes pointed at the same DIR divide the grid —
+// a worker that dies mid-range is re-leased after -lease-ttl. Merge
+// and verify the result with cmd/pomread.
+//
 // Examples:
 //
 //	pomsim -n 40 -potential tanh -delay-rank 5
@@ -16,6 +24,7 @@
 //	pomsim -n 40 -potential desync -sigma 1.5 -archive runs/desync
 //	pomsim -save-config fig2b.json -potential desync -sigma 1.5
 //	pomsim -config fig2b.json
+//	pomsim -potential desync -sweep runs/scan -sweep-points 64 -sweep-param sigma -sweep-from 0.5 -sweep-to 3
 package main
 
 import (
@@ -69,6 +78,17 @@ func main() {
 		cfgPath   = flag.String("config", "", "load a scenario JSON (replaces the model flags)")
 		savePath  = flag.String("save-config", "", "write the effective scenario JSON and exit")
 		listFams  = flag.Bool("list-families", false, "list the registered scenario families and exit")
+
+		sweepDir     = flag.String("sweep", "", "join a fault-tolerant distributed sweep archiving into this shared directory (this process becomes one lease-coordinated worker)")
+		sweepPoints  = flag.Int("sweep-points", 0, "sweep grid size (required with -sweep)")
+		sweepParam   = flag.String("sweep-param", "sigma", "swept parameter: sigma | seed")
+		sweepFrom    = flag.Float64("sweep-from", 0.5, "first grid value (seed sweeps count up from here)")
+		sweepTo      = flag.Float64("sweep-to", 3.0, "last grid value (sigma sweeps only)")
+		rangeSize    = flag.Int("range-size", 0, "points per lease range (0 = default)")
+		leaseTTL     = flag.Duration("lease-ttl", 0, "lease expiry; a worker silent this long forfeits its range (0 = default)")
+		rangeWorkers = flag.Int("range-workers", 0, "point goroutines per leased range (0 = 1)")
+		workerID     = flag.String("worker-id", "", "unique worker name in lease files (empty = host-pid)")
+		coordinate   = flag.Bool("coordinate", false, "with -sweep: publish/validate the sweep plan and exit without claiming work")
 	)
 	flag.Parse()
 
@@ -137,6 +157,28 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("scenario written to %s\n", *savePath)
+		return
+	}
+
+	// Distributed worker mode: sweep the scenario along one parameter
+	// into a shared lease-coordinated archive (internal/dsweep). Works
+	// for every family — each point builds through the unified runtime.
+	if *sweepDir != "" {
+		if *svgDir != "" {
+			log.Fatal("-svg is incompatible with -sweep (archive runs stream)")
+		}
+		runDistributed(spec, sweepOpts{
+			dir:          *sweepDir,
+			points:       *sweepPoints,
+			param:        *sweepParam,
+			from:         *sweepFrom,
+			to:           *sweepTo,
+			rangeSize:    *rangeSize,
+			ttl:          *leaseTTL,
+			rangeWorkers: *rangeWorkers,
+			workerID:     *workerID,
+			coordinate:   *coordinate,
+		})
 		return
 	}
 

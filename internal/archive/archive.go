@@ -10,11 +10,30 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
 
+	"repro/internal/failpoint"
 	"repro/internal/trace"
+)
+
+// Failpoint sites instrumented under the Writer (see package
+// failpoint). Chaos tests enable rules here to tear writes, fail
+// syncs, or simulate the process dying mid-commit; with no rule
+// enabled each seam costs one atomic load.
+const (
+	// SiteWrite guards every logical write into a shard (header,
+	// record frames, footer). Write sizes are the seam's n.
+	SiteWrite = "archive/write"
+	// SiteSync guards the pre-rename file fsync in Close.
+	SiteSync = "archive/sync"
+	// SiteRename guards the atomic rename that commits a shard.
+	SiteRename = "archive/rename"
+	// SiteSyncDir guards the parent-directory fsync after the rename —
+	// the step that makes the committed name itself durable.
+	SiteSyncDir = "archive/syncdir"
 )
 
 // math64bits keeps the encode lines short; floats are stored as their
@@ -110,6 +129,7 @@ type Writer struct {
 	ents  []indexEntry
 	rec   *RecordWriter // open record, if any
 	buf   []byte        // encoding scratch
+	werr  error         // sticky injected/deferred write error
 	state writerState
 }
 
@@ -135,11 +155,20 @@ func Create(dir string, shard int) (*Writer, error) {
 	}
 	path := filepath.Join(dir, shardName(shard))
 	tmp := path + ".tmp"
+	// A committed shard must never be silently overwritten by this
+	// writer's rename-on-close; refuse the id up front. (The O_EXCL
+	// below already serializes racing creators of the same tmp.)
+	if _, err := os.Stat(path); err == nil {
+		return nil, fmt.Errorf("archive: shard %s already committed: %w", path, fs.ErrExist)
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
 	// O_EXCL: two writers racing to the same shard id (e.g. concurrent
 	// archiving runs over one directory) must fail loudly here instead
 	// of silently interleaving into a corrupt shard. Stale tmp files
 	// from crashed runs are removed by sweep.RunArchive before it
-	// allocates shard ids, and NextShard never reuses a live tmp's id.
+	// allocates shard ids (TTL-gated, so a live sharer's tmp is never
+	// touched), and NextShard never reuses a live tmp's id.
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("archive: creating shard (already being written by another run?): %w", err)
@@ -149,14 +178,64 @@ func Create(dir string, shard int) (*Writer, error) {
 	return w, nil
 }
 
+// CreateAny opens a new shard writer on the first free shard id >= from,
+// skipping ids whose final or in-progress file already exists. This is
+// the claim path for writers sharing one directory across processes:
+// two workers racing NextShard both see the same "next" id, the O_EXCL
+// create serializes them, and the loser simply moves to the next id
+// instead of failing the run.
+func CreateAny(dir string, from int) (*Writer, error) {
+	if from < 0 {
+		from = 0
+	}
+	for id := from; ; id++ {
+		w, err := Create(dir, id)
+		if err == nil {
+			return w, nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return nil, err
+		}
+	}
+}
+
 // Path returns the shard's final (post-Close) path.
 func (w *Writer) Path() string { return w.path }
 
 // Len returns the number of sealed records.
 func (w *Writer) Len() int { return len(w.ents) }
 
-// writeRaw writes b to the shard and advances the logical offset.
+// writeRaw writes b to the shard and advances the logical offset. An
+// injected fault at SiteWrite either poisons the writer with a sticky
+// error (surfaced by Finish/Close, undone by Rollback's truncate) or —
+// in crash mode — panics with *failpoint.Crashed after persisting the
+// torn prefix, leaving the tmp file exactly as a dying process would.
 func (w *Writer) writeRaw(b []byte) {
+	if act := failpoint.Eval(SiteWrite, len(b)); !act.Pass() {
+		if act.Tear {
+			n := act.TearAt
+			if n > len(b) {
+				n = len(b)
+			}
+			if n > 0 {
+				w.bw.Write(b[:n])
+				w.off += int64(n)
+			}
+			_ = w.bw.Flush() // land the torn prefix so the damage is on disk
+		}
+		if act.Crash {
+			_ = w.f.Close()
+			panic(&failpoint.Crashed{Site: SiteWrite})
+		}
+		err := act.Err
+		if err == nil {
+			err = failpoint.ErrInjected
+		}
+		if w.werr == nil {
+			w.werr = err
+		}
+		return
+	}
 	n, _ := w.bw.Write(b) // bufio defers errors to Flush; n is always len(b) until then
 	w.off += int64(n)
 }
@@ -182,6 +261,9 @@ func f64s(buf []byte, vs []float64) []byte {
 func (w *Writer) Begin(index uint64, params []float64) (*RecordWriter, error) {
 	if w.state != writerOpen {
 		return nil, errors.New("archive: writer is closed")
+	}
+	if w.werr != nil {
+		return nil, fmt.Errorf("archive: %w", w.werr)
 	}
 	if w.rec != nil {
 		return nil, fmt.Errorf("archive: record %d still open", w.rec.index)
@@ -244,14 +326,21 @@ func (w *Writer) Rollback(rec *RecordWriter) error {
 	if w.rec == rec {
 		w.rec = nil
 	}
+	// The truncate removed whatever a poisoned write left behind, so a
+	// sticky write error is healed here: the shard is byte-identical to
+	// one that never saw the failed record, and the writer can go on.
+	w.werr = nil
 	rec.sealed = false
 	rec.err = errors.New("archive: record rolled back")
 	return nil
 }
 
-// Close seals the shard: footer index, fsync, and the atomic rename
-// that makes the shard visible to readers. Closing with a record still
-// open is an error (Rollback or Finish it first).
+// Close seals the shard: footer index, fsync, the atomic rename that
+// makes the shard visible to readers, and an fsync of the parent
+// directory so the rename itself survives power loss — without that
+// last step a "committed" shard can vanish when the directory's
+// metadata never reaches disk. Closing with a record still open is an
+// error (Rollback or Finish it first).
 func (w *Writer) Close() error {
 	if w.state != writerOpen {
 		return errors.New("archive: writer is closed")
@@ -276,6 +365,19 @@ func (w *Writer) Close() error {
 		w.fail()
 		return fmt.Errorf("archive: %w", err)
 	}
+	if w.werr != nil {
+		err := w.werr
+		w.fail()
+		return fmt.Errorf("archive: %w", err)
+	}
+	if act := failpoint.Eval(SiteSync, 0); !act.Pass() {
+		if act.Crash {
+			_ = w.f.Close()
+			panic(&failpoint.Crashed{Site: SiteSync})
+		}
+		w.fail()
+		return fmt.Errorf("archive: %w", act.Err)
+	}
 	if err := w.f.Sync(); err != nil {
 		w.fail()
 		return fmt.Errorf("archive: %w", err)
@@ -285,13 +387,46 @@ func (w *Writer) Close() error {
 		_ = os.Remove(w.tmp)
 		return fmt.Errorf("archive: %w", err)
 	}
+	if act := failpoint.Eval(SiteRename, 0); !act.Pass() {
+		if act.Crash {
+			panic(&failpoint.Crashed{Site: SiteRename})
+		}
+		w.state = writerAborted
+		_ = os.Remove(w.tmp)
+		return fmt.Errorf("archive: %w", act.Err)
+	}
 	if err := os.Rename(w.tmp, w.path); err != nil {
 		w.state = writerAborted
 		_ = os.Remove(w.tmp)
 		return fmt.Errorf("archive: %w", err)
 	}
+	// The shard is committed from here on: even if the directory sync
+	// fails, the renamed file must never be removed, so the writer is
+	// marked closed before the durability step.
 	w.state = writerClosed
+	if act := failpoint.Eval(SiteSyncDir, 0); !act.Pass() {
+		if act.Crash {
+			panic(&failpoint.Crashed{Site: SiteSyncDir})
+		}
+		return fmt.Errorf("archive: syncing %s after commit: %w", w.dir, act.Err)
+	}
+	if err := syncDir(w.dir); err != nil {
+		return fmt.Errorf("archive: syncing %s after commit: %w", w.dir, err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory, making renames inside it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // fail abandons the underlying file after a write error.
@@ -442,6 +577,12 @@ func (rw *RecordWriter) Finish(metrics []float64, tr *trace.Trace) error {
 	w.writeRaw(w.buf)
 	if err := w.bw.Flush(); err != nil {
 		return fmt.Errorf("archive: %w", err)
+	}
+	if w.werr != nil {
+		// A write anywhere in this record was poisoned; report it so
+		// the caller rolls the record back (which truncates the damage
+		// away and heals the writer).
+		return fmt.Errorf("archive: %w", w.werr)
 	}
 	var lenBuf [4]byte
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(payloadLen))

@@ -1,0 +1,239 @@
+package dsweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/failpoint"
+	"repro/internal/sweep"
+)
+
+// TestChaosFleetMatchesSerialBitwise is the acceptance harness of the
+// distributed runtime: four in-process workers share one directory
+// while fault injection kills two of them mid-write (one with a torn
+// shard) and poisons a third's writes with a transient error. The
+// survivors must re-lease the dead workers' ranges after TTL expiry
+// and finish the sweep — and the merged result must be
+// bitwise-identical, file-for-file, to the merge of an uninterrupted
+// serial sweep.RunArchive of the same spec.
+func TestChaosFleetMatchesSerialBitwise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second chaos test")
+	}
+	defer failpoint.Reset()
+	const (
+		n         = 200
+		rangeSize = 10
+		ttl       = 1200 * time.Millisecond
+		heartbeat = 100 * time.Millisecond
+		poll      = 150 * time.Millisecond
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Reference first, before any fault rule exists: an uninterrupted
+	// serial archive of the same sweep.
+	refDir := t.TempDir()
+	if _, err := sweep.RunArchive(ctx, refDir, n, 1, testGen, testPoint); err != nil {
+		t.Fatal(err)
+	}
+
+	// The chaos schedule keys off the global write-seam hit counter,
+	// which interleaves every worker's writes: hit 60 kills whichever
+	// worker gets there first, hit 220 kills a second (the first is
+	// already dead), and hit 400 hands a third a transient write error
+	// (which fails that worker's run but releases its lease cleanly).
+	failpoint.Enable(archive.SiteWrite, func(hit, _ int) failpoint.Action {
+		switch hit {
+		case 60:
+			return failpoint.Action{Crash: true}
+		case 220:
+			return failpoint.Action{Crash: true, Tear: true, TearAt: 7}
+		case 400:
+			return failpoint.Action{Err: failpoint.ErrInjected}
+		}
+		return failpoint.Action{}
+	})
+
+	chaosDir := t.TempDir()
+	const fleet = 4
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		stats    = make([]Stats, fleet)
+		errs     = make([]error, fleet)
+		relaunch int
+	)
+	run := func(w int, id string) {
+		defer wg.Done()
+		s, err := Run(ctx, Config{
+			Dir: chaosDir, N: n, RangeSize: rangeSize,
+			TTL: ttl, Heartbeat: heartbeat, Poll: poll, WorkerID: id,
+		}, testGen, testPoint)
+		mu.Lock()
+		stats[w] = Stats{
+			Ranges:    s.Ranges,
+			Leased:    stats[w].Leased + s.Leased,
+			Stolen:    stats[w].Stolen + s.Stolen,
+			Completed: stats[w].Completed + s.Completed,
+			Lost:      stats[w].Lost + s.Lost,
+			Archived:  stats[w].Archived + s.Archived,
+			Skipped:   stats[w].Skipped + s.Skipped,
+			Shards:    stats[w].Shards + s.Shards,
+		}
+		errs[w] = err
+		mu.Unlock()
+	}
+	wg.Add(fleet)
+	for w := 0; w < fleet; w++ {
+		go run(w, fmt.Sprintf("chaos-%c", 'a'+w))
+	}
+	wg.Wait()
+
+	var crashes, injected, finished int
+	for w, err := range errs {
+		switch {
+		case err == nil:
+			finished++
+		default:
+			var c *failpoint.Crashed
+			if errors.As(err, &c) {
+				crashes++
+			} else if errors.Is(err, failpoint.ErrInjected) {
+				injected++
+			} else {
+				t.Fatalf("worker %d failed for an unexpected reason: %v", w, err)
+			}
+		}
+	}
+	if crashes != 2 {
+		t.Fatalf("%d workers crashed, want 2 (errors: %v)", crashes, errs)
+	}
+	if injected != 1 {
+		t.Fatalf("%d workers hit the injected error, want 1 (errors: %v)", injected, errs)
+	}
+	if finished != fleet-3 {
+		t.Fatalf("%d workers finished cleanly, want %d", finished, fleet-3)
+	}
+	var stolen int
+	for _, s := range stats {
+		stolen += s.Stolen
+	}
+	if stolen == 0 {
+		t.Fatalf("no range was re-leased from a dead worker; stats = %+v", stats)
+	}
+
+	// One surviving worker is not enough to declare the sweep done —
+	// Run returns when every range has its marker, so re-join with a
+	// fresh worker to mop up anything the last failure stranded.
+	failpoint.Reset()
+	for done := false; !done; {
+		missing, err := Missing(chaosDir, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(missing) == 0 {
+			done = true
+			continue
+		}
+		relaunch++
+		if relaunch > 3 {
+			t.Fatalf("sweep still missing %d points after %d mop-up workers", len(missing), relaunch)
+		}
+		wg.Add(1)
+		go run(0, "chaos/mopup")
+		wg.Wait()
+	}
+
+	// The invariant: merge both archives canonically and compare the
+	// results byte-for-byte. Any duplicate point, lost record, or
+	// torn-write leak into a sealed shard shows up here.
+	refMerged := filepath.Join(t.TempDir(), "ref")
+	chaosMerged := filepath.Join(t.TempDir(), "chaos")
+	if _, err := Merge(refDir, refMerged, 64); err != nil {
+		t.Fatal(err)
+	}
+	mstats, err := Merge(chaosDir, chaosMerged, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mstats.Points != n {
+		t.Fatalf("chaos merge holds %d points, want %d", mstats.Points, n)
+	}
+	if err := Equal(chaosMerged, refMerged); err != nil {
+		t.Fatalf("chaos and serial archives differ: %v", err)
+	}
+	compareDirsBitwise(t, chaosMerged, refMerged)
+}
+
+// TestLostLeaseWorkerNeverDuplicates pins the fencing half of the
+// protocol: a worker whose lease is stolen mid-range (because it
+// stalled past the TTL) must discard its shard, so the thief's records
+// are the only copy and the archive never holds a point twice.
+func TestLostLeaseWorkerNeverDuplicates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent lease test")
+	}
+	dir := t.TempDir()
+	const n, rangeSize = 6, 6
+	const ttl = 150 * time.Millisecond
+	if _, err := Coordinate(dir, n, rangeSize); err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := tryClaim(dir, 0, "staller", ttl)
+	if err != nil || l == nil {
+		t.Fatal(err)
+	}
+
+	// The stalling worker archives its whole range but pauses past the
+	// TTL before its shard can seal; the thief steals the lease and
+	// redoes the range in the meantime.
+	stall := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		run := sweep.ArchiveRun{
+			Dir: dir, Lo: 0, Hi: n, Workers: 1,
+			DiscardOnCancel: true,
+			BeforeSeal: func() error {
+				close(stall)
+				<-release
+				return l.check()
+			},
+		}
+		_, err := run.Run(context.Background(), testGen, testPoint)
+		done <- err
+	}()
+
+	<-stall
+	time.Sleep(ttl + 50*time.Millisecond)
+	thief, stolen, err := tryClaim(dir, 0, "thief", ttl)
+	if err != nil || thief == nil || !stolen {
+		t.Fatalf("steal failed: lease=%v stolen=%v err=%v", thief, stolen, err)
+	}
+	if _, err := (sweep.ArchiveRun{Dir: dir, Lo: 0, Hi: n, Workers: 1, BeforeSeal: thief.check}).
+		Run(context.Background(), testGen, testPoint); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if err := <-done; err == nil || !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stalled worker's run = %v, want the fencing rejection", err)
+	}
+
+	// The directory must open cleanly (OpenDir errors on duplicate
+	// indices) and hold exactly the thief's n records.
+	a, err := archive.OpenDir(dir)
+	if err != nil {
+		t.Fatalf("archive corrupt after fenced seal: %v", err)
+	}
+	defer a.Close()
+	if a.Len() != n {
+		t.Fatalf("archive holds %d points, want %d", a.Len(), n)
+	}
+}

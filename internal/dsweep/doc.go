@@ -1,0 +1,61 @@
+// Package dsweep scales sweep.RunArchive across processes: a
+// fault-tolerant coordinator/worker runtime in which the only shared
+// state is the archive directory itself. There is no network protocol
+// and no coordinator process to keep alive — the control plane is a
+// handful of small files with carefully chosen atomicity, which is
+// what makes the runtime tolerate workers that die at any instruction.
+//
+// # Protocol
+//
+// The sweep of N points is cut into fixed point-index ranges of
+// RangeSize (the unit of work, lease, and commit). The first worker to
+// arrive publishes the plan (plan.json, create-exclusive via
+// link(2)); every later worker loads and validates it, so all workers
+// agree on the range boundaries forever after.
+//
+// Each range moves through three states, all encoded in the leases/
+// subdirectory:
+//
+//	unclaimed:  no lease file            → claim by create-exclusive
+//	leased:     range-NNNNNN.lease holds → owner heartbeats a fresh
+//	            {worker, nonce, expiry}    expiry; anyone may steal the
+//	                                       lease once the expiry passes
+//	done:       range-NNNNNN.done exists → terminal; never re-run
+//
+// A claim is an atomic create-exclusive; a steal atomically replaces
+// the expired lease and then reads it back, so of many racing stealers
+// exactly one sees its own {worker, nonce} and proceeds. A worker that
+// dies simply stops heartbeating: its lease expires and the range is
+// re-leased — work-stealing for stragglers falls out of the same rule,
+// since a stalled worker past its TTL is indistinguishable from a dead
+// one and loses the range.
+//
+// The owner of a range runs sweep.ArchiveRun over exactly [lo, hi),
+// writing per-worker shards into the shared directory. Data-plane
+// safety rests on the archive's own invariants: shards appear only via
+// atomic rename, resume-by-index-scan skips points already committed
+// by a previous owner, and every worker's shard run is fenced — a
+// BeforeSeal check re-reads the lease at the last moment and aborts
+// the commit if ownership was lost, while cancellation (lease lost
+// mid-range) discards rather than seals, so two owners can never
+// publish the same point.
+//
+// Because record payloads depend only on (index, params, fn), the
+// merged result of any execution — any worker count, any interleaving
+// of crashes, torn writes, and re-leases — is bitwise-identical
+// record-for-record to an uninterrupted serial sweep.RunArchive. The
+// chaos test in this package pins exactly that.
+//
+// Merge compacts a fleet's shards into a canonical archive (records in
+// ascending index order, deterministic shard packing), so two merged
+// archives of the same spec are identical file-for-file; Equal and
+// Missing are the verification half of that step. cmd/pomsim
+// (-coordinate / -workers-distributed) and cmd/pomread (-merge /
+// -compare) are the CLI faces of this package; ARCHITECTURE.md has the
+// diagram and PERFORMANCE.md the tuning notes.
+//
+// The runtime assumes the directory is shared with POSIX rename/link
+// atomicity and that clocks across workers agree to within a fraction
+// of the lease TTL — the usual single-cluster shared-filesystem
+// deployment.
+package dsweep

@@ -1,0 +1,290 @@
+package dsweep
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/sweep"
+)
+
+// testGen / testPoint mirror the sweep package's test fixtures: a
+// deterministic record per point, so any two archives of the same
+// points are bitwise-comparable.
+func testGen(i int) []float64 { return []float64{float64(i), 0.5 * float64(i)} }
+
+func testPoint(_ context.Context, i int, params []float64, rec *archive.RecordWriter) error {
+	rec.Begin(2, 3)
+	for k := 0; k < 3; k++ {
+		t := float64(k)
+		rec.Sample(t, []float64{params[0] + t, params[1] - t})
+	}
+	return rec.Finish([]float64{float64(i), -float64(i)}, nil)
+}
+
+func TestPlanGeometry(t *testing.T) {
+	p := Plan{N: 25, RangeSize: 10}
+	if p.Ranges() != 3 {
+		t.Fatalf("Ranges() = %d, want 3", p.Ranges())
+	}
+	cases := []struct{ r, lo, hi int }{{0, 0, 10}, {1, 10, 20}, {2, 20, 25}}
+	for _, c := range cases {
+		if lo, hi := p.Bounds(c.r); lo != c.lo || hi != c.hi {
+			t.Errorf("Bounds(%d) = [%d, %d), want [%d, %d)", c.r, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestCoordinatePublishJoinRefuse(t *testing.T) {
+	dir := t.TempDir()
+	p1, err := Coordinate(dir, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Coordinate(dir, 100, 10)
+	if err != nil {
+		t.Fatalf("joining an identical plan must succeed: %v", err)
+	}
+	if p1 != p2 {
+		t.Fatalf("plans differ: %+v vs %+v", p1, p2)
+	}
+	if _, err := Coordinate(dir, 100, 20); err == nil {
+		t.Fatal("joining with a different range size must be refused")
+	}
+	if _, err := Coordinate(dir, 50, 10); err == nil {
+		t.Fatal("joining with a different point count must be refused")
+	}
+	if _, err := Coordinate(dir, 0, 10); err == nil {
+		t.Fatal("a zero-point plan must be refused")
+	}
+}
+
+func TestLeaseClaimStealRenewRelease(t *testing.T) {
+	dir := t.TempDir()
+	const ttl = 60 * time.Millisecond
+	if _, err := Coordinate(dir, 100, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	la, stolen, err := tryClaim(dir, 3, "worker-a", ttl)
+	if err != nil || la == nil || stolen {
+		t.Fatalf("fresh claim: lease=%v stolen=%v err=%v", la, stolen, err)
+	}
+	// A live lease cannot be taken.
+	if lb, _, err := tryClaim(dir, 3, "worker-b", ttl); err != nil || lb != nil {
+		t.Fatalf("claim of a live lease: lease=%v err=%v", lb, err)
+	}
+	if err := la.renew(); err != nil {
+		t.Fatalf("renew of a held lease: %v", err)
+	}
+	if err := la.check(); err != nil {
+		t.Fatalf("check of a held lease: %v", err)
+	}
+
+	// Once the holder stops renewing past the TTL, the range is
+	// stealable — the dead-worker re-lease path.
+	time.Sleep(ttl + 20*time.Millisecond)
+	lb, stolen, err := tryClaim(dir, 3, "worker-b", ttl)
+	if err != nil || lb == nil || !stolen {
+		t.Fatalf("steal of an expired lease: lease=%v stolen=%v err=%v", lb, stolen, err)
+	}
+	// The original holder must now be fenced out everywhere.
+	if err := la.renew(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale holder's renew = %v, want ErrLeaseLost", err)
+	}
+	if err := la.check(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale holder's check = %v, want ErrLeaseLost", err)
+	}
+	// ... and its release must not disturb the thief's lease.
+	la.release()
+	if err := lb.check(); err != nil {
+		t.Fatalf("thief's lease damaged by stale release: %v", err)
+	}
+	lb.release()
+	if _, err := os.Stat(leasePath(dir, 3)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("release by the holder must remove the lease file")
+	}
+}
+
+func TestGarbledLeaseExpiresByAge(t *testing.T) {
+	dir := t.TempDir()
+	const ttl = 50 * time.Millisecond
+	if _, err := Coordinate(dir, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	// A torn lease file (e.g. a writer died mid-replace before the
+	// scratch protocol existed, or disk corruption) must not wedge its
+	// range forever.
+	if err := os.WriteFile(leasePath(dir, 0), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if l, _, err := tryClaim(dir, 0, "w", ttl); err != nil || l != nil {
+		t.Fatalf("young garbled lease must not be stolen yet: lease=%v err=%v", l, err)
+	}
+	time.Sleep(ttl + 20*time.Millisecond)
+	l, stolen, err := tryClaim(dir, 0, "w", ttl)
+	if err != nil || l == nil || !stolen {
+		t.Fatalf("old garbled lease must be stolen: lease=%v stolen=%v err=%v", l, stolen, err)
+	}
+}
+
+func TestMarkDoneIsTerminalAndIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Coordinate(dir, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if isDone(dir, 1) {
+		t.Fatal("fresh range reported done")
+	}
+	if err := markDone(dir, 1, "worker-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := markDone(dir, 1, "worker-b"); err != nil {
+		t.Fatalf("second markDone must be a no-op, got %v", err)
+	}
+	if !isDone(dir, 1) {
+		t.Fatal("marked range not reported done")
+	}
+	// The first marker wins and is preserved.
+	data, err := os.ReadFile(donePath(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "worker-a") {
+		t.Fatalf("done marker rewritten by the loser: %s", data)
+	}
+}
+
+func TestSingleWorkerRunCompletes(t *testing.T) {
+	dir := t.TempDir()
+	const n = 30
+	stats, err := Run(context.Background(), Config{
+		Dir: dir, N: n, RangeSize: 8, TTL: time.Second, WorkerID: "solo",
+	}, testGen, testPoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ranges != 4 || stats.Completed != 4 || stats.Leased != 4 || stats.Stolen != 0 {
+		t.Fatalf("stats = %+v, want 4 ranges leased and completed", stats)
+	}
+	if stats.Archived != n {
+		t.Fatalf("archived %d points, want %d", stats.Archived, n)
+	}
+	missing, err := Missing(dir, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("missing points after a completed run: %v", missing)
+	}
+	for r := 0; r < 4; r++ {
+		if !isDone(dir, r) {
+			t.Errorf("range %d has no done marker", r)
+		}
+		if _, err := os.Stat(leasePath(dir, r)); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("range %d's lease not released", r)
+		}
+	}
+	// Joining a finished sweep is a fast no-op.
+	stats, err = Run(context.Background(), Config{
+		Dir: dir, N: n, RangeSize: 8, TTL: time.Second, WorkerID: "late",
+	}, testGen, testPoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Archived != 0 || stats.Leased != 0 {
+		t.Fatalf("late joiner redid work: %+v", stats)
+	}
+}
+
+func TestMergeCanonicalizesAndEqualVerifies(t *testing.T) {
+	src := t.TempDir()
+	const n = 37
+	// A messy source layout: many small shards from a parallel run.
+	if _, err := sweep.RunArchive(context.Background(), src, n, 5, testGen, testPoint); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(t.TempDir(), "merged")
+	stats, err := Merge(src, dst, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Points != n || stats.Shards != 4 {
+		t.Fatalf("merge stats = %+v, want %d points in 4 shards", stats, n)
+	}
+	if err := Equal(src, dst); err != nil {
+		t.Fatalf("merged archive differs from source: %v", err)
+	}
+	// Merging into a non-empty target is refused.
+	if _, err := Merge(src, dst, 10); err == nil {
+		t.Fatal("merge over an existing archive must be refused")
+	}
+	// Canonical layout: merging the merged archive reproduces it
+	// file-for-file.
+	dst2 := filepath.Join(t.TempDir(), "merged2")
+	if _, err := Merge(dst, dst2, 10); err != nil {
+		t.Fatal(err)
+	}
+	compareDirsBitwise(t, dst, dst2)
+}
+
+func TestMergeRefusesIncompleteSweep(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Coordinate(dir, 20, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Archive only range [0, 5) of the 20-point plan.
+	run := sweep.ArchiveRun{Dir: dir, Lo: 0, Hi: 5, Workers: 1}
+	if _, err := run.Run(context.Background(), testGen, testPoint); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Merge(dir, filepath.Join(t.TempDir(), "out"), 0)
+	if err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Fatalf("err = %v, want an incompleteness refusal", err)
+	}
+	missing, err := Missing(dir, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 15 || missing[0] != 5 {
+		t.Fatalf("missing = %v, want 5..19", missing)
+	}
+}
+
+// compareDirsBitwise asserts two archive directories hold exactly the
+// same shard files with exactly the same bytes.
+func compareDirsBitwise(t *testing.T, aDir, bDir string) {
+	t.Helper()
+	an, err := filepath.Glob(archive.ShardPattern(aDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn, err := filepath.Glob(archive.ShardPattern(bDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an) != len(bn) {
+		t.Fatalf("shard counts differ: %d vs %d", len(an), len(bn))
+	}
+	for k := range an {
+		if filepath.Base(an[k]) != filepath.Base(bn[k]) {
+			t.Fatalf("shard names differ: %s vs %s", an[k], bn[k])
+		}
+		da, err := os.ReadFile(an[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := os.ReadFile(bn[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(da) != string(db) {
+			t.Fatalf("shard %s differs byte-for-byte", filepath.Base(an[k]))
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package dsweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// ErrLeaseLost reports that a worker no longer owns the lease it is
+// heartbeating: the range was stolen after the lease expired (or the
+// lease file vanished). The worker must stop publishing for that range
+// immediately.
+var ErrLeaseLost = errors.New("dsweep: lease lost")
+
+// leaseBody is the JSON content of a lease file — the single source of
+// truth for who owns a range and until when.
+type leaseBody struct {
+	Worker  string `json:"worker"`
+	Nonce   int64  `json:"nonce"`
+	Range   int    `json:"range"`
+	Expires int64  `json:"expires_unix_nano"`
+}
+
+// leasePath returns the lease file of range r.
+func leasePath(dir string, r int) string {
+	return filepath.Join(leaseDir(dir), fmt.Sprintf("range-%06d.lease", r))
+}
+
+// donePath returns the terminal completion marker of range r.
+func donePath(dir string, r int) string {
+	return filepath.Join(leaseDir(dir), fmt.Sprintf("range-%06d.done", r))
+}
+
+// isDone reports whether range r has its completion marker.
+func isDone(dir string, r int) bool {
+	_, err := os.Stat(donePath(dir, r))
+	return err == nil
+}
+
+// lease is one held range lease.
+type lease struct {
+	dir    string
+	r      int
+	worker string
+	nonce  int64
+	ttl    time.Duration
+}
+
+// body serializes the lease with a fresh expiry.
+func (l *lease) body() ([]byte, error) {
+	b, err := json.Marshal(leaseBody{
+		Worker:  l.worker,
+		Nonce:   l.nonce,
+		Range:   l.r,
+		Expires: time.Now().Add(l.ttl).UnixNano(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dsweep: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// readLease parses the lease file of range r. A missing file returns
+// fs.ErrNotExist; a torn or garbled file returns ok=false with the
+// file's mtime so callers can expire it by age.
+func readLease(dir string, r int) (body leaseBody, mtime time.Time, ok bool, err error) {
+	path := leasePath(dir, r)
+	fi, err := os.Stat(path)
+	if err != nil {
+		return leaseBody{}, time.Time{}, false, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return leaseBody{}, fi.ModTime(), false, err
+	}
+	if jsonErr := json.Unmarshal(data, &body); jsonErr != nil {
+		return leaseBody{}, fi.ModTime(), false, nil
+	}
+	return body, fi.ModTime(), true, nil
+}
+
+// nonceSeq feeds per-process-unique lease nonces.
+// (Worker ids distinguish processes; nonces distinguish re-claims by
+// the same worker, so a stale self-owned lease is never mistaken for
+// the current one.)
+var nonceSeq = &tmpSeq
+
+// tryClaim attempts to take the lease of range r: by create-exclusive
+// when unclaimed, or by atomically replacing an expired (or unreadable
+// and TTL-old) lease — the steal path that re-leases dead workers'
+// ranges. It returns (nil, false, nil) when the range is owned by a
+// live worker or the steal race was lost.
+func tryClaim(dir string, r int, worker string, ttl time.Duration) (_ *lease, stolen bool, err error) {
+	l := &lease{dir: dir, r: r, worker: worker, nonce: nonceSeq.Add(1), ttl: ttl}
+	data, err := l.body()
+	if err != nil {
+		return nil, false, err
+	}
+	path := leasePath(dir, r)
+	switch err := createExclusive(path, data); {
+	case err == nil:
+		return l, false, nil
+	case !errors.Is(err, fs.ErrExist):
+		return nil, false, fmt.Errorf("dsweep: claiming range %d: %w", r, err)
+	}
+	// The range is leased; steal only if the holder's expiry has
+	// passed (a garbled lease expires by file age instead).
+	body, mtime, ok, err := readLease(dir, r)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return nil, false, nil // released between our create and read; next scan retries
+	case err != nil:
+		return nil, false, fmt.Errorf("dsweep: reading lease of range %d: %w", r, err)
+	case ok && time.Now().UnixNano() < body.Expires:
+		return nil, false, nil // live holder
+	case !ok && time.Since(mtime) < ttl:
+		return nil, false, nil // torn mid-replace just now; give the writer time
+	}
+	// Expired: replace atomically, then read back — of N racing
+	// stealers exactly one sees its own (worker, nonce) and wins.
+	if err := replaceFile(path, data); err != nil {
+		return nil, false, fmt.Errorf("dsweep: stealing range %d: %w", r, err)
+	}
+	got, _, ok, err := readLease(dir, r)
+	if err != nil || !ok || got.Worker != worker || got.Nonce != l.nonce {
+		return nil, false, nil // another stealer won
+	}
+	return l, true, nil
+}
+
+// renew extends the held lease's expiry. It fails with ErrLeaseLost
+// when the lease is no longer this worker's — the holder must treat
+// that as immediately fatal for the range.
+func (l *lease) renew() error {
+	got, _, ok, err := readLease(l.dir, l.r)
+	if errors.Is(err, fs.ErrNotExist) {
+		return ErrLeaseLost
+	}
+	if err != nil {
+		return fmt.Errorf("dsweep: renewing range %d: %w", l.r, err)
+	}
+	if !ok || got.Worker != l.worker || got.Nonce != l.nonce {
+		return ErrLeaseLost
+	}
+	data, err := l.body()
+	if err != nil {
+		return err
+	}
+	if err := replaceFile(leasePath(l.dir, l.r), data); err != nil {
+		return fmt.Errorf("dsweep: renewing range %d: %w", l.r, err)
+	}
+	// Read-back closes the replace/steal race: if a stealer's rename
+	// landed after ours, the file is theirs and we lost.
+	got, _, ok, err = readLease(l.dir, l.r)
+	if err != nil || !ok || got.Worker != l.worker || got.Nonce != l.nonce {
+		return ErrLeaseLost
+	}
+	return nil
+}
+
+// check verifies the lease is still held and unexpired — the fencing
+// probe run just before a shard commit.
+func (l *lease) check() error {
+	got, _, ok, err := readLease(l.dir, l.r)
+	if err != nil || !ok || got.Worker != l.worker || got.Nonce != l.nonce {
+		return ErrLeaseLost
+	}
+	if time.Now().UnixNano() >= got.Expires {
+		return ErrLeaseLost
+	}
+	return nil
+}
+
+// release removes the lease if (and only if) it is still this
+// worker's; a lease lost to a stealer is left strictly alone.
+func (l *lease) release() {
+	got, _, ok, err := readLease(l.dir, l.r)
+	if err != nil || !ok || got.Worker != l.worker || got.Nonce != l.nonce {
+		return
+	}
+	_ = os.Remove(leasePath(l.dir, l.r))
+}
+
+// markDone publishes the terminal completion marker of range r. The
+// marker appearing twice is fine (a resumed range completes again with
+// zero new points); create-exclusive keeps the first marker.
+func markDone(dir string, r int, worker string) error {
+	body := fmt.Sprintf("{\"worker\": %q, \"range\": %d}\n", worker, r)
+	err := createExclusive(donePath(dir, r), []byte(body))
+	if err == nil || errors.Is(err, fs.ErrExist) {
+		return nil
+	}
+	return fmt.Errorf("dsweep: marking range %d done: %w", r, err)
+}

@@ -1,0 +1,153 @@
+package dsweep
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+
+	"repro/internal/archive"
+)
+
+// DefaultMergeShardSize is how many records a canonical merged shard
+// holds when the caller does not choose.
+const DefaultMergeShardSize = 1024
+
+// MergeStats summarizes one Merge call.
+type MergeStats struct {
+	// Points is the number of records merged.
+	Points int
+	// Shards is the number of canonical shards written.
+	Shards int
+}
+
+// Merge compacts the shards of srcDir into a canonical archive in
+// dstDir: records in ascending point order, packed perShard to a shard
+// (0 = DefaultMergeShardSize). Because the layout depends only on the
+// record set, two archives holding the same records — however many
+// workers, crashes, and re-leases produced them — merge to archives
+// that are identical file-for-file.
+//
+// When srcDir carries a distributed-sweep plan, Merge refuses to run
+// until every planned point is present, so a half-finished sweep can
+// never masquerade as a complete canonical archive. dstDir must not
+// already contain shards.
+func Merge(srcDir, dstDir string, perShard int) (MergeStats, error) {
+	var stats MergeStats
+	if perShard <= 0 {
+		perShard = DefaultMergeShardSize
+	}
+	if existing, err := filepath.Glob(archive.ShardPattern(dstDir)); err != nil {
+		return stats, fmt.Errorf("dsweep: %w", err)
+	} else if len(existing) > 0 {
+		return stats, fmt.Errorf("dsweep: merge target %s already holds %d shard(s)", dstDir, len(existing))
+	}
+	src, err := archive.OpenDir(srcDir)
+	if err != nil {
+		return stats, fmt.Errorf("dsweep: opening %s: %w", srcDir, err)
+	}
+	defer src.Close()
+	switch plan, err := LoadPlan(srcDir); {
+	case err == nil:
+		missing := missingIn(src, plan.N)
+		if len(missing) > 0 {
+			return stats, fmt.Errorf("dsweep: %s is incomplete: %d of %d planned points missing (first: %d)",
+				srcDir, len(missing), plan.N, missing[0])
+		}
+	case errors.Is(err, fs.ErrNotExist):
+		// A plain (non-distributed) archive has no plan; merge it as-is.
+	default:
+		return stats, err
+	}
+	indices := src.Indices()
+	for lo := 0; lo < len(indices); lo += perShard {
+		hi := lo + perShard
+		if hi > len(indices) {
+			hi = len(indices)
+		}
+		w, err := archive.Create(dstDir, stats.Shards)
+		if err != nil {
+			return stats, fmt.Errorf("dsweep: %w", err)
+		}
+		for _, idx := range indices[lo:hi] {
+			rec, err := src.Read(idx)
+			if err != nil {
+				_ = w.Abort()
+				return stats, fmt.Errorf("dsweep: %w", err)
+			}
+			if err := w.Append(rec); err != nil {
+				_ = w.Abort()
+				return stats, fmt.Errorf("dsweep: %w", err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			return stats, fmt.Errorf("dsweep: sealing merged shard: %w", err)
+		}
+		stats.Shards++
+	}
+	stats.Points = len(indices)
+	return stats, nil
+}
+
+// Missing returns the point indices of 0..n-1 absent from the archive
+// in dir, in ascending order.
+func Missing(dir string, n int) ([]int, error) {
+	a, err := archive.OpenDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("dsweep: opening %s: %w", dir, err)
+	}
+	defer a.Close()
+	return missingIn(a, n), nil
+}
+
+func missingIn(a *archive.Archive, n int) []int {
+	var missing []int
+	for i := 0; i < n; i++ {
+		if !a.Has(uint64(i)) {
+			missing = append(missing, i)
+		}
+	}
+	return missing
+}
+
+// Equal verifies that the archives in aDir and bDir hold exactly the
+// same records: the same point-index set and, for every point,
+// byte-identical payloads. It reports the first difference found; nil
+// means the archives are equivalent regardless of shard layout.
+func Equal(aDir, bDir string) error {
+	a, err := archive.OpenDir(aDir)
+	if err != nil {
+		return fmt.Errorf("dsweep: opening %s: %w", aDir, err)
+	}
+	defer a.Close()
+	b, err := archive.OpenDir(bDir)
+	if err != nil {
+		return fmt.Errorf("dsweep: opening %s: %w", bDir, err)
+	}
+	defer b.Close()
+	for _, idx := range a.Indices() {
+		if !b.Has(idx) {
+			return fmt.Errorf("dsweep: point %d is in %s but not %s", idx, aDir, bDir)
+		}
+	}
+	for _, idx := range b.Indices() {
+		if !a.Has(idx) {
+			return fmt.Errorf("dsweep: point %d is in %s but not %s", idx, bDir, aDir)
+		}
+	}
+	for _, idx := range a.Indices() {
+		ra, err := a.ReadRaw(idx)
+		if err != nil {
+			return fmt.Errorf("dsweep: %w", err)
+		}
+		rb, err := b.ReadRaw(idx)
+		if err != nil {
+			return fmt.Errorf("dsweep: %w", err)
+		}
+		if !bytes.Equal(ra, rb) {
+			return fmt.Errorf("dsweep: point %d differs between %s and %s", idx, aDir, bDir)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package dsweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Plan is the one piece of state every worker must agree on: the sweep
+// size and how it is cut into lease ranges. It is published once into
+// the shared directory and validated by every joiner.
+type Plan struct {
+	// N is the total number of sweep points (indices 0..N-1).
+	N int `json:"points"`
+	// RangeSize is the number of points per lease range.
+	RangeSize int `json:"range_size"`
+}
+
+// Ranges returns the number of lease ranges the plan defines.
+func (p Plan) Ranges() int { return (p.N + p.RangeSize - 1) / p.RangeSize }
+
+// Bounds returns the half-open point-index range [lo, hi) of range r.
+func (p Plan) Bounds(r int) (lo, hi int) {
+	lo = r * p.RangeSize
+	hi = lo + p.RangeSize
+	if hi > p.N {
+		hi = p.N
+	}
+	return lo, hi
+}
+
+const planName = "plan.json"
+
+// planPath returns the plan file of a sweep directory.
+func planPath(dir string) string { return filepath.Join(dir, planName) }
+
+// leaseDir returns the control-plane subdirectory of a sweep directory.
+func leaseDir(dir string) string { return filepath.Join(dir, "leases") }
+
+// Coordinate publishes the sweep plan into dir, or joins the one
+// already there. The first caller wins an atomic create-exclusive and
+// becomes the (one-shot) coordinator; every other caller loads the
+// published plan and fails loudly if it disagrees with the requested
+// geometry — two fleets with different plans must never interleave in
+// one directory.
+func Coordinate(dir string, n, rangeSize int) (Plan, error) {
+	if n <= 0 {
+		return Plan{}, fmt.Errorf("dsweep: plan needs a positive point count, got %d", n)
+	}
+	if rangeSize <= 0 {
+		return Plan{}, fmt.Errorf("dsweep: plan needs a positive range size, got %d", rangeSize)
+	}
+	if err := os.MkdirAll(leaseDir(dir), 0o755); err != nil {
+		return Plan{}, fmt.Errorf("dsweep: %w", err)
+	}
+	want := Plan{N: n, RangeSize: rangeSize}
+	data, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		return Plan{}, fmt.Errorf("dsweep: %w", err)
+	}
+	err = createExclusive(planPath(dir), append(data, '\n'))
+	if err == nil {
+		return want, nil
+	}
+	if !errors.Is(err, fs.ErrExist) {
+		return Plan{}, fmt.Errorf("dsweep: publishing plan: %w", err)
+	}
+	got, err := LoadPlan(dir)
+	if err != nil {
+		return Plan{}, err
+	}
+	if got != want {
+		return Plan{}, fmt.Errorf("dsweep: %s already plans %d points in ranges of %d; refusing to join with %d/%d",
+			dir, got.N, got.RangeSize, n, rangeSize)
+	}
+	return got, nil
+}
+
+// LoadPlan reads the published plan of a sweep directory.
+func LoadPlan(dir string) (Plan, error) {
+	data, err := os.ReadFile(planPath(dir))
+	if err != nil {
+		return Plan{}, fmt.Errorf("dsweep: loading plan: %w", err)
+	}
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Plan{}, fmt.Errorf("dsweep: parsing %s: %w", planPath(dir), err)
+	}
+	if p.N <= 0 || p.RangeSize <= 0 {
+		return Plan{}, fmt.Errorf("dsweep: %s holds an invalid plan %+v", planPath(dir), p)
+	}
+	return p, nil
+}
+
+// tmpSeq makes scratch-file names unique within the process.
+var tmpSeq atomic.Int64
+
+// scratchName returns a unique sibling scratch path for path.
+func scratchName(path string) string {
+	return fmt.Sprintf("%s.w%d.%d", path, os.Getpid(), tmpSeq.Add(1))
+}
+
+// createExclusive atomically creates path with the given content: the
+// file either appears complete or not at all, and a racing creator
+// loses with fs.ErrExist. Implemented as write-to-scratch + link(2),
+// because link — unlike rename — fails on an existing target.
+func createExclusive(path string, data []byte) error {
+	tmp := scratchName(path)
+	if err := writeFileSync(tmp, data); err != nil {
+		return err
+	}
+	defer os.Remove(tmp)
+	if err := os.Link(tmp, path); err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return fs.ErrExist
+		}
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// replaceFile atomically replaces path with the given content via
+// write-to-scratch + rename. The last of several racing replacers
+// wins; callers that need single ownership read the file back and
+// check it is theirs.
+func replaceFile(path string, data []byte) error {
+	tmp := scratchName(path)
+	if err := writeFileSync(tmp, data); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it, so the content is
+// on disk before any link/rename makes the name visible.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		_ = os.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		_ = os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory, making creates and renames inside it
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,267 @@
+package dsweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/failpoint"
+	"repro/internal/retry"
+	"repro/internal/sweep"
+)
+
+// Config parameterizes one distributed-sweep worker.
+type Config struct {
+	// Dir is the shared archive directory.
+	Dir string
+	// N is the total sweep point count (indices 0..N-1).
+	N int
+	// RangeSize is the points-per-lease granularity (default 64). All
+	// workers of one directory must agree; Coordinate enforces it.
+	RangeSize int
+	// TTL is how long a lease lives without renewal before anyone may
+	// steal it (default 5s). It bounds the time a dead worker blocks
+	// its range.
+	TTL time.Duration
+	// Heartbeat is the renewal period (default TTL/4). It must leave
+	// several renewal attempts per TTL, or a briefly stalled worker
+	// forfeits live work.
+	Heartbeat time.Duration
+	// Poll is how long to wait between lease scans when every
+	// remaining range is held by a live worker (default TTL/2).
+	Poll time.Duration
+	// RangeWorkers is the goroutine count of each in-range
+	// sweep.ArchiveRun (default 1; raise it to use more cores per
+	// leased range).
+	RangeWorkers int
+	// Retry shapes the backoff around transient control-plane
+	// filesystem errors (lease renewal). Zero-value fields take the
+	// retry package defaults.
+	Retry retry.Policy
+	// WorkerID names this worker in lease files. It must be unique
+	// across the fleet; empty derives host+pid.
+	WorkerID string
+}
+
+// DefaultRangeSize is the points-per-lease granularity when the
+// config does not choose.
+const DefaultRangeSize = 64
+
+// withDefaults fills unset knobs.
+func (c Config) withDefaults() Config {
+	if c.RangeSize <= 0 {
+		c.RangeSize = DefaultRangeSize
+	}
+	if c.TTL <= 0 {
+		c.TTL = 5 * time.Second
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = c.TTL / 4
+	}
+	if c.Poll <= 0 {
+		c.Poll = c.TTL / 2
+	}
+	if c.RangeWorkers <= 0 {
+		c.RangeWorkers = 1
+	}
+	if c.WorkerID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		c.WorkerID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	return c
+}
+
+// Stats summarizes one worker's share of a distributed sweep.
+type Stats struct {
+	// Ranges is the plan's total range count.
+	Ranges int
+	// Leased counts the ranges this worker claimed fresh.
+	Leased int
+	// Stolen counts the ranges this worker re-leased from an expired
+	// holder.
+	Stolen int
+	// Completed counts the ranges this worker drove to their done
+	// marker.
+	Completed int
+	// Lost counts the leases this worker forfeited (TTL expiry while
+	// stalled, or a stolen heartbeat).
+	Lost int
+	// Archived, Skipped, and Shards aggregate the underlying
+	// sweep.ArchiveStats across completed ranges.
+	Archived, Skipped, Shards int
+}
+
+// Run joins the distributed sweep over dir as one worker and returns
+// when every range is done, the context ends, or a genuine sweep error
+// (a failing point function, an injected crash) stops this worker.
+// Many Run calls — across goroutines or machines — cooperate through
+// the lease files alone; see the package comment for the protocol.
+func Run(ctx context.Context, cfg Config, gen func(i int) []float64, fn sweep.ArchivePointFunc) (Stats, error) {
+	cfg = cfg.withDefaults()
+	var stats Stats
+	plan, err := Coordinate(cfg.Dir, cfg.N, cfg.RangeSize)
+	if err != nil {
+		return stats, err
+	}
+	ranges := plan.Ranges()
+	stats.Ranges = ranges
+	// Start each worker's scan at a different range so a fleet
+	// arriving together fans out instead of fighting over range 0.
+	h := fnv.New32a()
+	h.Write([]byte(cfg.WorkerID))
+	start := int(h.Sum32() % uint32(ranges))
+	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		progressed := false
+		allDone := true
+		for k := 0; k < ranges; k++ {
+			r := (start + k) % ranges
+			if isDone(cfg.Dir, r) {
+				continue
+			}
+			allDone = false
+			if err := ctx.Err(); err != nil {
+				return stats, err
+			}
+			l, stolen, err := tryClaim(cfg.Dir, r, cfg.WorkerID, cfg.TTL)
+			if err != nil {
+				return stats, err
+			}
+			if l == nil {
+				continue // live holder (or lost a steal race)
+			}
+			if stolen {
+				stats.Stolen++
+			} else {
+				stats.Leased++
+			}
+			st, err := runRange(ctx, cfg, plan, l, gen, fn)
+			stats.Archived += st.Archived
+			stats.Skipped += st.Skipped
+			stats.Shards += st.Shards
+			switch {
+			case err == nil:
+				stats.Completed++
+				progressed = true
+			case errors.Is(err, ErrLeaseLost):
+				// Someone stole the range out from under us; its
+				// records were discarded, the thief redoes them.
+				stats.Lost++
+			default:
+				// A genuine failure (point error, injected crash,
+				// canceled context) stops this worker. The lease is
+				// deliberately left in place — exactly what a killed
+				// process would leave — so it expires and the range is
+				// re-leased by a survivor.
+				return stats, err
+			}
+		}
+		if allDone {
+			return stats, nil
+		}
+		if !progressed {
+			// Every open range is held by a live worker: wait for a
+			// done marker or an expiry.
+			select {
+			case <-ctx.Done():
+				return stats, ctx.Err()
+			case <-time.After(cfg.Poll):
+			}
+		}
+	}
+}
+
+// runRange archives the leased range under a heartbeat, then publishes
+// its done marker and releases the lease. The heartbeat goroutine
+// cancels the in-flight ArchiveRun the moment the lease cannot be
+// proven ours, and the run itself is configured to discard (not seal)
+// on cancellation and to fence every seal with a last-moment lease
+// check — the two hooks that keep a stolen range from ever holding a
+// point twice.
+func runRange(ctx context.Context, cfg Config, plan Plan, l *lease, gen func(i int) []float64, fn sweep.ArchivePointFunc) (sweep.ArchiveStats, error) {
+	lo, hi := plan.Bounds(l.r)
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var lost atomic.Bool
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(cfg.Heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-rctx.Done():
+				return
+			case <-t.C:
+			}
+			err := cfg.Retry.Do(rctx, func() error {
+				err := l.renew()
+				if errors.Is(err, ErrLeaseLost) {
+					return retry.Permanent(err)
+				}
+				return err
+			})
+			if err == nil {
+				continue
+			}
+			if rctx.Err() != nil && !errors.Is(err, ErrLeaseLost) {
+				return // the range run ended first; not a lost lease
+			}
+			// Stolen, vanished, or unrenewable past all retries:
+			// either way ownership cannot be proven, so the only safe
+			// move is to stop publishing immediately.
+			lost.Store(true)
+			cancel()
+			return
+		}
+	}()
+
+	run := sweep.ArchiveRun{
+		Dir:             cfg.Dir,
+		Lo:              lo,
+		Hi:              hi,
+		Workers:         cfg.RangeWorkers,
+		StaleTmpAfter:   cfg.TTL,
+		DiscardOnCancel: true,
+		BeforeSeal:      l.check,
+	}
+	st, err := run.Run(rctx, gen, fn)
+	cancel()
+	<-hbDone
+
+	if err != nil {
+		var c *failpoint.Crashed
+		if errors.As(err, &c) {
+			// Simulated process death: leave lease, litter, and all —
+			// recovery is the surviving workers' job. (Checked before
+			// the lost flag: a crashed worker is dead, not demoted.)
+			return st, err
+		}
+	}
+	if lost.Load() {
+		return st, fmt.Errorf("dsweep: range %d: %w", l.r, ErrLeaseLost)
+	}
+	if err != nil {
+		if errors.Is(err, ErrLeaseLost) {
+			return st, fmt.Errorf("dsweep: range %d: %w", l.r, ErrLeaseLost)
+		}
+		l.release()
+		return st, err
+	}
+	if err := markDone(cfg.Dir, l.r, cfg.WorkerID); err != nil {
+		l.release()
+		return st, err
+	}
+	l.release()
+	return st, nil
+}

@@ -1,0 +1,215 @@
+// Package failpoint is a deterministic fault-injection registry for
+// crash-consistency testing. Instrumented seams (the write / sync /
+// rename path under the archive Writer, for instance) call Eval with a
+// site name on every operation; a test Enables a Rule at that site to
+// return errors, tear a write after N bytes, or simulate the process
+// dying at the k-th operation. With no rule enabled a seam costs one
+// atomic load, so the hooks stay compiled into production code.
+//
+// Determinism is the point: rules are driven by per-site hit counters,
+// not by time or randomness, so "crash at the 90th archive write" is
+// the same crash on every run — which is what lets chaos tests pin
+// their recovered output bitwise against an undisturbed run.
+//
+// A Crash action panics with *Crashed. Harnesses that simulate process
+// death recover it with AsCrash and must abandon the faulted unit
+// without any cleanup — no rollback, no flush, no rename — exactly as
+// a killed process would.
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Action tells an instrumented seam what to do on one hit. The zero
+// Action is a pass-through.
+type Action struct {
+	// Err, when non-nil, is reported by the seam as the operation's
+	// failure (after the optional tear). The operation's effect is
+	// suppressed apart from the torn bytes.
+	Err error
+	// Tear makes a write seam persist only the first TearAt bytes of
+	// the buffer before failing — a torn write. Ignored by non-write
+	// seams.
+	Tear bool
+	// TearAt is the number of leading bytes a torn write persists.
+	TearAt int
+	// Crash makes the seam panic with *Crashed after the optional
+	// tear, simulating the process dying mid-operation.
+	Crash bool
+}
+
+// Pass reports whether the action is a no-op pass-through.
+func (a Action) Pass() bool { return a.Err == nil && !a.Tear && !a.Crash }
+
+// Rule decides the action for one hit of a site. hit counts from 1
+// since the rule was enabled; n is the operation size in bytes (0 when
+// size is meaningless for the seam). Rules run under the registry lock
+// and must not call back into this package.
+type Rule func(hit, n int) Action
+
+// Crashed is the panic value of a Crash action. It implements error so
+// harnesses can thread it through error returns after recovering it.
+type Crashed struct {
+	// Site is the seam that crashed.
+	Site string
+}
+
+func (c *Crashed) Error() string {
+	return fmt.Sprintf("failpoint: simulated crash at %s", c.Site)
+}
+
+// AsCrash reports whether a recovered panic value (or an error chain)
+// is a simulated crash, and returns it.
+func AsCrash(r any) (*Crashed, bool) {
+	if c, ok := r.(*Crashed); ok {
+		return c, true
+	}
+	if err, ok := r.(error); ok {
+		var c *Crashed
+		if errors.As(err, &c) {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// ErrInjected is the error injected by rules that were not given a
+// specific one.
+var ErrInjected = errors.New("failpoint: injected fault")
+
+type site struct {
+	rule Rule
+	hits int
+}
+
+var (
+	mu      sync.Mutex
+	sites   = map[string]*site{}
+	enabled atomic.Int32 // fast-path gate: number of enabled sites
+)
+
+// Enable installs rule at the named site, resetting the site's hit
+// counter. Enabling a nil rule just counts hits (see Observe).
+func Enable(name string, rule Rule) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := sites[name]; !ok {
+		enabled.Add(1)
+	}
+	sites[name] = &site{rule: rule}
+}
+
+// Disable removes the rule at the named site. The site's hit count is
+// discarded; read it with Hits first.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := sites[name]; ok {
+		delete(sites, name)
+		enabled.Add(-1)
+	}
+}
+
+// Reset disables every site. Tests defer it to keep the global
+// registry from leaking rules across test cases.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for name := range sites {
+		delete(sites, name)
+	}
+	enabled.Store(0)
+}
+
+// Hits returns the number of Eval calls the named site has seen since
+// its rule was enabled (0 when not enabled).
+func Hits(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if s, ok := sites[name]; ok {
+		return s.hits
+	}
+	return 0
+}
+
+// Eval is called by instrumented seams with the operation size n. It
+// counts the hit and returns the enabled rule's action, or a
+// pass-through when the site has no rule.
+func Eval(name string, n int) Action {
+	if enabled.Load() == 0 {
+		return Action{}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	s, ok := sites[name]
+	if !ok {
+		return Action{}
+	}
+	s.hits++
+	if s.rule == nil {
+		return Action{}
+	}
+	return s.rule(s.hits, n)
+}
+
+// Observe returns a rule that never injects — it only counts hits, for
+// asserting that a seam was exercised (e.g. "Close synced the parent
+// directory exactly once").
+func Observe() Rule {
+	return func(int, int) Action { return Action{} }
+}
+
+// FailAt returns a rule injecting err (ErrInjected when nil) on the
+// k-th hit and passing through otherwise.
+func FailAt(k int, err error) Rule {
+	if err == nil {
+		err = ErrInjected
+	}
+	return func(hit, _ int) Action {
+		if hit == k {
+			return Action{Err: err}
+		}
+		return Action{}
+	}
+}
+
+// TearAt returns a rule that, on the k-th hit, persists only the first
+// byteN bytes of the write and then fails with err (ErrInjected when
+// nil).
+func TearAt(k, byteN int, err error) Rule {
+	if err == nil {
+		err = ErrInjected
+	}
+	return func(hit, _ int) Action {
+		if hit == k {
+			return Action{Err: err, Tear: true, TearAt: byteN}
+		}
+		return Action{}
+	}
+}
+
+// CrashAt returns a rule simulating process death at the k-th hit.
+func CrashAt(k int) Rule {
+	return func(hit, _ int) Action {
+		if hit == k {
+			return Action{Crash: true}
+		}
+		return Action{}
+	}
+}
+
+// CrashTornAt returns a rule that, on the k-th hit, persists only the
+// first byteN bytes of the write and then simulates process death —
+// the classic torn-write-then-power-loss failure.
+func CrashTornAt(k, byteN int) Rule {
+	return func(hit, _ int) Action {
+		if hit == k {
+			return Action{Crash: true, Tear: true, TearAt: byteN}
+		}
+		return Action{}
+	}
+}

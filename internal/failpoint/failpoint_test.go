@@ -1,0 +1,106 @@
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestDisabledSitePassesThrough(t *testing.T) {
+	defer Reset()
+	if act := Eval("nope", 7); !act.Pass() {
+		t.Fatalf("disabled site returned non-pass action %+v", act)
+	}
+	if Hits("nope") != 0 {
+		t.Fatalf("disabled site counted hits")
+	}
+}
+
+func TestFailAtHitsExactlyOnce(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Enable("s", FailAt(3, boom))
+	for hit := 1; hit <= 5; hit++ {
+		act := Eval("s", 0)
+		if hit == 3 {
+			if act.Err != boom {
+				t.Fatalf("hit %d: got %+v, want err boom", hit, act)
+			}
+		} else if !act.Pass() {
+			t.Fatalf("hit %d: got %+v, want pass", hit, act)
+		}
+	}
+	if got := Hits("s"); got != 5 {
+		t.Fatalf("Hits = %d, want 5", got)
+	}
+	Disable("s")
+	if !Eval("s", 0).Pass() {
+		t.Fatal("disabled site still injecting")
+	}
+}
+
+func TestFailAtDefaultsToErrInjected(t *testing.T) {
+	defer Reset()
+	Enable("s", FailAt(1, nil))
+	if act := Eval("s", 0); !errors.Is(act.Err, ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", act.Err)
+	}
+}
+
+func TestTearAndCrashRules(t *testing.T) {
+	defer Reset()
+	Enable("tear", TearAt(2, 13, nil))
+	if act := Eval("tear", 100); !act.Pass() {
+		t.Fatalf("hit 1 should pass, got %+v", act)
+	}
+	act := Eval("tear", 100)
+	if !act.Tear || act.TearAt != 13 || act.Err == nil || act.Crash {
+		t.Fatalf("tear action = %+v", act)
+	}
+
+	Enable("crash", CrashTornAt(1, 4))
+	act = Eval("crash", 100)
+	if !act.Crash || !act.Tear || act.TearAt != 4 {
+		t.Fatalf("crash action = %+v", act)
+	}
+}
+
+func TestAsCrash(t *testing.T) {
+	c := &Crashed{Site: "x"}
+	if got, ok := AsCrash(any(c)); !ok || got != c {
+		t.Fatal("AsCrash failed on the panic value itself")
+	}
+	wrapped := fmt.Errorf("sweep: shard 3: %w", c)
+	if got, ok := AsCrash(wrapped); !ok || got.Site != "x" {
+		t.Fatal("AsCrash failed on a wrapping error")
+	}
+	if _, ok := AsCrash(errors.New("plain")); ok {
+		t.Fatal("AsCrash matched a plain error")
+	}
+	if _, ok := AsCrash("random panic"); ok {
+		t.Fatal("AsCrash matched a random panic value")
+	}
+}
+
+// TestConcurrentEval hammers one site from many goroutines; the
+// counter must account for every hit (run under -race in CI).
+func TestConcurrentEval(t *testing.T) {
+	defer Reset()
+	Enable("c", Observe())
+	const goroutines, per = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				Eval("c", i)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := Hits("c"); got != goroutines*per {
+		t.Fatalf("Hits = %d, want %d", got, goroutines*per)
+	}
+}

@@ -1,0 +1,148 @@
+// Package retry implements context-aware retries with jittered
+// exponential backoff. Distributed sweep workers use it for the
+// transient failures of a shared filesystem — lease renewals racing a
+// slow NFS server, shard creation colliding with another worker's, an
+// injected transient write error — where trying again a moment later
+// is the correct response and giving up after a bounded number of
+// attempts keeps genuine faults loud.
+//
+// Jitter is drawn from a policy-seeded deterministic generator, so a
+// test (or a reproduction of one) sees the same backoff sequence on
+// every run; concurrent workers decorrelate by seeding with their
+// worker id.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Policy describes one backoff schedule. The zero value is usable:
+// 4 attempts, 10 ms base delay doubling to a 1 s cap, with 50% jitter.
+type Policy struct {
+	// MaxAttempts is the total number of op invocations (not retries);
+	// <= 0 means 4.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; <= 0 means 10 ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff; <= 0 means 1 s.
+	MaxDelay time.Duration
+	// Multiplier grows the backoff between retries; <= 1 means 2.
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized: a delay
+	// d becomes uniform in [d·(1−Jitter/2), d·(1+Jitter/2)]. 0 means
+	// the default 0.5; negative disables jitter.
+	Jitter float64
+	// Seed selects the deterministic jitter stream; 0 means 1.
+	Seed uint64
+	// Sleep, when non-nil, replaces the context-aware timer — a test
+	// seam for asserting the backoff schedule without real waiting.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p Policy) norm() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	switch {
+	case p.Jitter == 0:
+		p.Jitter = 0.5
+	case p.Jitter < 0:
+		p.Jitter = 0
+	case p.Jitter > 1:
+		p.Jitter = 1
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleep
+	}
+	return p
+}
+
+// Do runs op until it returns nil, returns an error wrapped by
+// Permanent, MaxAttempts invocations have failed, or ctx ends. The
+// returned error is the last op error (unwrapped from Permanent); a
+// context that ends before the first attempt returns ctx.Err().
+func (p Policy) Do(ctx context.Context, op func() error) error {
+	p = p.norm()
+	rng := p.Seed
+	delay := p.BaseDelay
+	var err error
+	for attempt := 1; ; attempt++ {
+		if ctx.Err() != nil {
+			if err != nil {
+				return err
+			}
+			return ctx.Err()
+		}
+		err = op()
+		if err == nil {
+			return nil
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return pe.err
+		}
+		if attempt >= p.MaxAttempts {
+			return err
+		}
+		d := delay
+		if p.Jitter > 0 {
+			// splitmix64: cheap, seedable, and good enough to
+			// decorrelate workers.
+			rng += 0x9e3779b97f4a7c15
+			z := rng
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			z ^= z >> 31
+			u := float64(z>>11) / (1 << 53) // uniform in [0, 1)
+			d = time.Duration(float64(d) * (1 - p.Jitter/2 + p.Jitter*u))
+		}
+		if p.Sleep(ctx, d) != nil {
+			return err
+		}
+		delay = time.Duration(float64(delay) * p.Multiplier)
+		if delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+}
+
+// sleep waits d or until ctx ends, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Permanent marks err as not retryable: Do stops immediately and
+// returns the original err. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return fmt.Sprintf("permanent: %v", e.err) }
+func (e *permanentError) Unwrap() error { return e.err }

@@ -1,0 +1,129 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// capture returns a Sleep seam recording every delay without waiting.
+func capture(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return ctx.Err()
+	}
+}
+
+func TestDoSucceedsAfterTransientFailures(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{MaxAttempts: 5, Jitter: -1, Sleep: capture(&delays)}
+	calls := 0
+	err := p.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want nil after 3", err, calls)
+	}
+	// Jitter disabled: the schedule is the pure exponential 10ms, 20ms.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(delays) != len(want) || delays[0] != want[0] || delays[1] != want[1] {
+		t.Fatalf("delays = %v, want %v", delays, want)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{MaxAttempts: 3, Sleep: capture(&delays)}
+	boom := errors.New("boom")
+	calls := 0
+	err := p.Do(context.Background(), func() error { calls++; return boom })
+	if !errors.Is(err, boom) || calls != 3 || len(delays) != 2 {
+		t.Fatalf("err=%v calls=%d delays=%d, want boom after 3 calls, 2 sleeps", err, calls, len(delays))
+	}
+}
+
+func TestPermanentStopsImmediately(t *testing.T) {
+	p := Policy{MaxAttempts: 10, Sleep: capture(new([]time.Duration))}
+	boom := errors.New("boom")
+	calls := 0
+	err := p.Do(context.Background(), func() error { calls++; return Permanent(boom) })
+	if err != boom {
+		t.Fatalf("err = %v, want the unwrapped boom", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) should stay nil")
+	}
+	// The wrapper keeps the chain inspectable before Do unwraps it.
+	if !errors.Is(Permanent(boom), boom) {
+		t.Fatal("Permanent broke errors.Is")
+	}
+}
+
+func TestCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := Policy{MaxAttempts: 5, Sleep: capture(new([]time.Duration))}
+	if err := p.Do(ctx, func() error { t.Fatal("op ran"); return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// Cancellation mid-backoff reports the op's error, not the bare
+	// context error, so the caller sees what was actually failing.
+	boom := errors.New("boom")
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	p2 := Policy{MaxAttempts: 5, Sleep: func(ctx context.Context, d time.Duration) error {
+		cancel2()
+		return ctx.Err()
+	}}
+	calls := 0
+	if err := p2.Do(ctx2, func() error { calls++; return boom }); !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want boom after 1 call", err, calls)
+	}
+}
+
+func TestJitterIsDeterministicAndBounded(t *testing.T) {
+	run := func(seed uint64) []time.Duration {
+		var delays []time.Duration
+		p := Policy{MaxAttempts: 6, Jitter: 0.5, Seed: seed, Sleep: capture(&delays)}
+		_ = p.Do(context.Background(), func() error { return errors.New("x") })
+		return delays
+	}
+	a, b := run(7), run(7)
+	if len(a) != 5 {
+		t.Fatalf("got %d delays, want 5", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at delay %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Every jittered delay stays within ±Jitter/2 of its nominal value
+	// (nominal schedule: 10, 20, 40, 80, 160 ms).
+	nominal := 10 * time.Millisecond
+	for i, d := range a {
+		lo := time.Duration(float64(nominal) * 0.75)
+		hi := time.Duration(float64(nominal) * 1.25)
+		if d < lo || d > hi {
+			t.Fatalf("delay %d = %v outside [%v, %v]", i, d, lo, hi)
+		}
+		nominal *= 2
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}

@@ -4,14 +4,25 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/archive"
+	"repro/internal/failpoint"
 )
+
+// DefaultStaleTmpTTL is how old an in-progress *.tmp shard must be
+// before archive runs treat it as crash litter and remove it. Temps
+// younger than this are presumed to belong to a live writer sharing
+// the directory (a distributed-sweep worker in another process) and
+// are never touched; lease-coordinated runs pass their lease TTL
+// instead, which bounds how long a dead worker's litter lingers.
+const DefaultStaleTmpTTL = 10 * time.Minute
 
 // ArchiveStats summarizes one RunArchive call.
 type ArchiveStats struct {
@@ -42,7 +53,9 @@ type ArchivePointFunc func(ctx context.Context, i int, params []float64, rec *ar
 // Each worker owns one shard file, so record writes are lock-free; a
 // shard becomes visible under its final name only through an atomic
 // rename when it is sealed, so an interrupted run leaves complete
-// shards plus ignorable *.tmp litter (removed on the next call).
+// shards plus ignorable *.tmp litter (removed by a later call once it
+// is older than DefaultStaleTmpTTL — young temps may belong to a live
+// run sharing the directory and are never touched).
 // RunArchive is resumable: it scans the completed shards already in dir
 // and skips their point indices, so re-running after a crash or cancel
 // archives exactly the missing points. Record payloads depend only on
@@ -57,6 +70,49 @@ type ArchivePointFunc func(ctx context.Context, i int, params []float64, rec *ar
 // and seals (or, when empty, removes) its shard — no truncated files
 // are left behind.
 func RunArchive(ctx context.Context, dir string, n, workers int, gen func(i int) []float64, fn ArchivePointFunc) (ArchiveStats, error) {
+	return ArchiveRun{Dir: dir, Hi: n, Workers: workers}.Run(ctx, gen, fn)
+}
+
+// ArchiveRun configures one archive-mode sweep over the point-index
+// range [Lo, Hi). The zero value plus Dir and Hi reproduces RunArchive;
+// the extra knobs exist for lease-coordinated distributed runs
+// (internal/dsweep), where several processes share one directory and a
+// worker must be able to restrict itself to its leased range, leave
+// other writers' files alone, and fence its commits against a lost
+// lease.
+type ArchiveRun struct {
+	// Dir is the shared archive directory.
+	Dir string
+	// Lo and Hi bound the half-open point-index range to archive.
+	Lo, Hi int
+	// Workers is the worker-goroutine count (0 = GOMAXPROCS).
+	Workers int
+	// StaleTmpAfter gates crash-litter cleanup: *.tmp shards younger
+	// than this are presumed to belong to a live writer sharing the
+	// directory and are left alone. 0 means DefaultStaleTmpTTL; a
+	// negative value disables cleanup entirely.
+	StaleTmpAfter time.Duration
+	// DiscardOnCancel aborts (instead of seals) every worker's shard
+	// when the run ends canceled. Lease-coordinated runs need this: a
+	// worker whose lease was lost must not publish records another
+	// worker may be re-archiving, or the directory would hold the same
+	// point twice.
+	DiscardOnCancel bool
+	// BeforeSeal, when non-nil, runs immediately before each non-empty
+	// shard is sealed; a non-nil error aborts the shard instead of
+	// committing it. Distributed workers use it as a fencing check
+	// ("do I still hold the lease?") at the last possible moment.
+	BeforeSeal func() error
+}
+
+// Run executes the configured archive sweep. Semantics match
+// RunArchive, restricted to [Lo, Hi): TTL-gated tmp cleanup, resume by
+// index scan, per-worker shards claimed collision-tolerantly
+// (archive.CreateAny), deterministic error reporting, and — under
+// fault injection — a simulated crash abandons the worker's shard
+// exactly as a killed process would: no rollback, no seal, litter left
+// in place.
+func (r ArchiveRun) Run(ctx context.Context, gen func(i int) []float64, fn ArchivePointFunc) (ArchiveStats, error) {
 	var stats ArchiveStats
 	if fn == nil {
 		return stats, errors.New("sweep: nil point function")
@@ -64,41 +120,37 @@ func RunArchive(ctx context.Context, dir string, n, workers int, gen func(i int)
 	if gen == nil {
 		return stats, errors.New("sweep: nil point generator")
 	}
-	if dir == "" {
+	if r.Dir == "" {
 		return stats, errors.New("sweep: empty archive directory")
 	}
-	if n <= 0 {
+	if r.Lo < 0 || r.Hi < r.Lo {
+		return stats, fmt.Errorf("sweep: bad point range [%d, %d)", r.Lo, r.Hi)
+	}
+	if r.Hi == r.Lo {
 		return stats, nil
 	}
+	dir := r.Dir
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return stats, fmt.Errorf("sweep: %w", err)
 	}
-	// Crash litter: in-progress shards of a previous run that never
-	// reached their atomic rename. Their points were never marked done,
-	// so removing them loses nothing.
-	tmps, err := filepath.Glob(archive.TmpPattern(dir))
-	if err != nil {
-		return stats, fmt.Errorf("sweep: %w", err)
+	if err := r.cleanStaleTmps(); err != nil {
+		return stats, err
 	}
-	for _, tmp := range tmps {
-		if err := os.Remove(tmp); err != nil {
-			return stats, fmt.Errorf("sweep: removing stale %s: %w", tmp, err)
-		}
-	}
-	// Resume: collect the indices already archived by completed shards.
+	// Resume: collect the in-range indices already archived by
+	// completed shards.
 	done := make(map[int]bool)
 	prev, err := archive.OpenDir(dir)
 	if err != nil {
 		return stats, fmt.Errorf("sweep: scanning archive for resume: %w", err)
 	}
 	for _, idx := range prev.Indices() {
-		if idx < uint64(n) {
+		if idx >= uint64(r.Lo) && idx < uint64(r.Hi) {
 			done[int(idx)] = true
 		}
 	}
 	prev.Close()
 	stats.Skipped = len(done)
-	remaining := n - stats.Skipped
+	remaining := r.Hi - r.Lo - stats.Skipped
 	if remaining == 0 {
 		return stats, nil
 	}
@@ -106,6 +158,7 @@ func RunArchive(ctx context.Context, dir string, n, workers int, gen func(i int)
 	if err != nil {
 		return stats, fmt.Errorf("sweep: %w", err)
 	}
+	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -131,28 +184,58 @@ func RunArchive(ctx context.Context, dir string, n, workers int, gen func(i int)
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(shard int) {
+		go func(claim int) {
 			defer wg.Done()
-			aw, err := archive.Create(dir, shard)
-			if err != nil {
-				fail("sweep: creating shard %d: %w", shard, err)
-				return
-			}
+			var aw *archive.Writer
 			defer func() {
-				// Seal the shard even when the sweep failed: its records
-				// are complete points, and preserving them is what makes
-				// the next run resume instead of redoing the work. An
-				// empty shard is removed instead.
+				if rec := recover(); rec != nil {
+					c, ok := failpoint.AsCrash(rec)
+					if !ok {
+						panic(rec)
+					}
+					// Simulated process death: abandon everything as
+					// the crash left it — no rollback, no seal, no
+					// tmp cleanup. Resume redoes the lost points.
+					fail("sweep: worker crashed: %w", c)
+					return
+				}
+				if aw == nil {
+					return
+				}
 				if aw.Len() == 0 {
 					_ = aw.Abort()
 					return
 				}
+				if r.DiscardOnCancel && ctx.Err() != nil {
+					// The run was canceled (lease lost, sibling crash,
+					// caller abort): publishing this shard could race a
+					// re-leasing worker into duplicate indices, so the
+					// records are discarded and redone later.
+					_ = aw.Abort()
+					return
+				}
+				if r.BeforeSeal != nil {
+					if err := r.BeforeSeal(); err != nil {
+						_ = aw.Abort()
+						fail("sweep: pre-seal check: %w", err)
+						return
+					}
+				}
+				// Seal the shard even when the sweep failed: its records
+				// are complete points, and preserving them is what makes
+				// the next run resume instead of redoing the work.
 				if err := aw.Close(); err != nil {
-					fail("sweep: sealing shard %d: %w", shard, err)
+					fail("sweep: sealing shard: %w", err)
 					return
 				}
 				sealedShards.Add(1)
 			}()
+			var err error
+			aw, err = archive.CreateAny(dir, claim)
+			if err != nil {
+				fail("sweep: creating shard: %w", err)
+				return
+			}
 			for i := range idx {
 				if ctx.Err() != nil {
 					continue
@@ -168,7 +251,7 @@ func RunArchive(ctx context.Context, dir string, n, workers int, gen func(i int)
 		}(base + w)
 	}
 feed:
-	for i := 0; i < n; i++ {
+	for i := r.Lo; i < r.Hi; i++ {
 		if done[i] {
 			continue
 		}
@@ -188,6 +271,42 @@ feed:
 	return stats, parent.Err()
 }
 
+// cleanStaleTmps removes crash litter: in-progress shards of a dead
+// run that never reached their atomic rename. Their points were never
+// marked done, so removing them loses nothing — but when two processes
+// share a directory, a young *.tmp is most likely a live worker's
+// open shard, so only temps older than the TTL are touched.
+func (r ArchiveRun) cleanStaleTmps() error {
+	ttl := r.StaleTmpAfter
+	if ttl < 0 {
+		return nil
+	}
+	if ttl == 0 {
+		ttl = DefaultStaleTmpTTL
+	}
+	tmps, err := filepath.Glob(archive.TmpPattern(r.Dir))
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	now := time.Now()
+	for _, tmp := range tmps {
+		fi, err := os.Stat(tmp)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue // another sharer cleaned it first
+			}
+			return fmt.Errorf("sweep: %w", err)
+		}
+		if now.Sub(fi.ModTime()) < ttl {
+			continue // presumed live writer
+		}
+		if err := os.Remove(tmp); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("sweep: removing stale %s: %w", tmp, err)
+		}
+	}
+	return nil
+}
+
 // archivePoint runs one point against its worker's shard under the
 // standard panic guard. Whatever goes wrong — a gen/fn panic, a point
 // error, an unsealed record — the record is rolled back before the
@@ -196,6 +315,12 @@ func archivePoint(ctx context.Context, aw *archive.Writer, i int, gen func(int) 
 	var rec *archive.RecordWriter
 	defer func() {
 		if r := recover(); r != nil {
+			if _, ok := failpoint.AsCrash(r); ok {
+				// A simulated crash is process death, not a point
+				// failure: no rollback, no recovery — let it unwind to
+				// the worker's crash handler.
+				panic(r)
+			}
 			err = fmt.Errorf("worker panicked: %v", r)
 		}
 		if err != nil && rec != nil {

@@ -10,8 +10,10 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/archive"
+	"repro/internal/failpoint"
 )
 
 // testGen derives a small parameter vector from the point index.
@@ -258,11 +260,16 @@ func TestRunArchiveUnsealedRecordIsAnError(t *testing.T) {
 }
 
 // TestRunArchiveRemovesStaleTmp simulates crash litter: a *.tmp shard
-// from a dead run must be removed and its id reused safely.
+// from a dead run — older than the stale TTL — must be removed and its
+// id reused safely.
 func TestRunArchiveRemovesStaleTmp(t *testing.T) {
 	dir := t.TempDir()
 	stale := filepath.Join(dir, "shard-00000.pom.tmp")
 	if err := os.WriteFile(stale, []byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-DefaultStaleTmpTTL - time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := RunArchive(context.Background(), dir, 6, 2, testGen, testPoint); err != nil {
@@ -272,6 +279,137 @@ func TestRunArchiveRemovesStaleTmp(t *testing.T) {
 		t.Error("stale tmp shard not removed")
 	}
 	mustNoTmpFiles(t, dir)
+}
+
+// TestRunArchiveSparesFreshTmp is the shared-directory regression test:
+// a young *.tmp presumably belongs to a live worker in another process
+// and must survive someone else's run untouched, with its shard id
+// left alone.
+func TestRunArchiveSparesFreshTmp(t *testing.T) {
+	dir := t.TempDir()
+	live := filepath.Join(dir, "shard-00000.pom.tmp")
+	if err := os.WriteFile(live, []byte("live worker's open shard"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunArchive(context.Background(), dir, 6, 2, testGen, testPoint); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(live)
+	if err != nil {
+		t.Fatalf("live tmp was removed by a sharing run: %v", err)
+	}
+	if string(data) != "live worker's open shard" {
+		t.Fatal("live tmp was modified by a sharing run")
+	}
+	// The sharing run must not have claimed the live tmp's shard id.
+	if _, err := os.Stat(filepath.Join(dir, "shard-00000.pom")); !os.IsNotExist(err) {
+		t.Error("sharing run committed a shard over the live worker's id")
+	}
+}
+
+// TestArchiveRunRangeMode: an ArchiveRun bounded to [lo, hi) archives
+// exactly that range and resumes within it, which is what lets a
+// lease-coordinated worker run only its leased slice of the sweep.
+func TestArchiveRunRangeMode(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	run := ArchiveRun{Dir: dir, Lo: 4, Hi: 10, Workers: 2}
+	stats, err := run.Run(ctx, testGen, testPoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Archived != 6 || stats.Skipped != 0 {
+		t.Fatalf("stats = %+v, want 6 archived", stats)
+	}
+	a, err := archive.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.Indices()
+	a.Close()
+	if len(got) != 6 || got[0] != 4 || got[5] != 9 {
+		t.Fatalf("archived indices %v, want exactly 4..9", got)
+	}
+	// A neighboring range neither redoes nor disturbs the first one.
+	stats, err = ArchiveRun{Dir: dir, Lo: 0, Hi: 6, Workers: 2}.Run(ctx, testGen, testPoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Archived != 4 || stats.Skipped != 2 {
+		t.Fatalf("overlapping range stats = %+v, want 4 archived / 2 resumed", stats)
+	}
+}
+
+// TestArchiveRunCrashLeavesLitterAndResumes drives the in-process
+// crash story end to end: a simulated worker death mid-sweep leaves a
+// torn tmp and an error, and a later run over the same directory
+// archives exactly the missing points, bitwise-identical to an
+// uninterrupted sweep.
+func TestArchiveRunCrashLeavesLitterAndResumes(t *testing.T) {
+	defer failpoint.Reset()
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	failpoint.Enable(archive.SiteWrite, failpoint.CrashTornAt(40, 7))
+	_, err := ArchiveRun{Dir: dir, Hi: 12, Workers: 2}.Run(ctx, testGen, testPoint)
+	var crashed *failpoint.Crashed
+	if !errors.As(err, &crashed) {
+		t.Fatalf("err = %v, want the simulated crash", err)
+	}
+	failpoint.Reset()
+	tmps, _ := filepath.Glob(archive.TmpPattern(dir))
+	if len(tmps) == 0 {
+		t.Fatal("crash left no tmp litter")
+	}
+
+	// Resume with litter cleanup forced on (everything counts as stale).
+	stats, err := ArchiveRun{Dir: dir, Hi: 12, Workers: 3, StaleTmpAfter: time.Nanosecond}.Run(ctx, testGen, testPoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Archived+stats.Skipped != 12 {
+		t.Fatalf("resume stats = %+v, want full coverage of 12 points", stats)
+	}
+	mustNoTmpFiles(t, dir)
+
+	// Bitwise pin against an undisturbed reference sweep.
+	refDir := t.TempDir()
+	if _, err := RunArchive(ctx, refDir, 12, 1, testGen, testPoint); err != nil {
+		t.Fatal(err)
+	}
+	compareArchives(t, dir, refDir, 12)
+}
+
+// compareArchives asserts the two directories hold records 0..n-1 with
+// bitwise-identical payloads.
+func compareArchives(t *testing.T, aDir, bDir string, n int) {
+	t.Helper()
+	a, err := archive.OpenDir(aDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := archive.OpenDir(bDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if a.Len() != n || b.Len() != n {
+		t.Fatalf("archive sizes %d vs %d, want %d", a.Len(), b.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		pa, err := a.ReadRaw(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := b.ReadRaw(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pa, pb) {
+			t.Fatalf("point %d differs between archives", i)
+		}
+	}
 }
 
 func TestRunArchiveValidation(t *testing.T) {
