@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"math"
 	"os/signal"
 	"syscall"
 	"time"
@@ -129,6 +130,13 @@ func gridValue(o sweepOpts, i int) (float64, error) {
 		}
 		return o.from + (o.to-o.from)*float64(i)/float64(o.points-1), nil
 	case "seed":
+		// Seeds are integers; a fractional or negative -sweep-from would
+		// silently truncate through the uint64 conversion (the flag's
+		// default 0.5 serves sigma sweeps), so refuse it up front —
+		// runDistributed probes gridValue before touching the directory.
+		if o.from < 0 || o.from != math.Trunc(o.from) {
+			return 0, fmt.Errorf("seed sweeps need a non-negative integer -sweep-from, got %g (e.g. -sweep-from 0)", o.from)
+		}
 		return o.from + float64(i), nil
 	default:
 		return 0, fmt.Errorf("unknown -sweep-param %q (want sigma | seed)", o.param)

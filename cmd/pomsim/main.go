@@ -82,7 +82,7 @@ func main() {
 		sweepDir     = flag.String("sweep", "", "join a fault-tolerant distributed sweep archiving into this shared directory (this process becomes one lease-coordinated worker)")
 		sweepPoints  = flag.Int("sweep-points", 0, "sweep grid size (required with -sweep)")
 		sweepParam   = flag.String("sweep-param", "sigma", "swept parameter: sigma | seed")
-		sweepFrom    = flag.Float64("sweep-from", 0.5, "first grid value (seed sweeps count up from here)")
+		sweepFrom    = flag.Float64("sweep-from", 0.5, "first grid value (seed sweeps: a non-negative integer to count up from)")
 		sweepTo      = flag.Float64("sweep-to", 3.0, "last grid value (sigma sweeps only)")
 		rangeSize    = flag.Int("range-size", 0, "points per lease range (0 = default)")
 		leaseTTL     = flag.Duration("lease-ttl", 0, "lease expiry; a worker silent this long forfeits its range (0 = default)")

@@ -167,8 +167,9 @@ func Create(dir string, shard int) (*Writer, error) {
 	// archiving runs over one directory) must fail loudly here instead
 	// of silently interleaving into a corrupt shard. Stale tmp files
 	// from crashed runs are removed by sweep.RunArchive before it
-	// allocates shard ids (TTL-gated, so a live sharer's tmp is never
-	// touched), and NextShard never reuses a live tmp's id.
+	// allocates shard ids (TTL-gated, and live runs freshen their open
+	// tmps' mtimes, so a live sharer's tmp is never touched), and
+	// NextShard never reuses a live tmp's id.
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("archive: creating shard (already being written by another run?): %w", err)
@@ -201,6 +202,12 @@ func CreateAny(dir string, from int) (*Writer, error) {
 
 // Path returns the shard's final (post-Close) path.
 func (w *Writer) Path() string { return w.path }
+
+// TmpPath returns the shard's in-progress (pre-Close) path. Runs that
+// share a directory use it to keep a live writer's tmp file fresh
+// (os.Chtimes) so sibling runs' age-gated litter cleanup never
+// mistakes an open shard for a dead run's leftovers.
+func (w *Writer) TmpPath() string { return w.tmp }
 
 // Len returns the number of sealed records.
 func (w *Writer) Len() int { return len(w.ents) }

@@ -28,7 +28,10 @@
 // dies simply stops heartbeating: its lease expires and the range is
 // re-leased — work-stealing for stragglers falls out of the same rule,
 // since a stalled worker past its TTL is indistinguishable from a dead
-// one and loses the range.
+// one and loses the range. Expiry is one-way: once it passes, even the
+// lease's own holder cannot renew (a stealer may be replacing the file
+// that instant, and a renew racing the steal could leave two owners) —
+// ownership must be provably continuous or it is gone.
 //
 // The owner of a range runs sweep.ArchiveRun over exactly [lo, hi),
 // writing per-worker shards into the shared directory. Data-plane

@@ -111,6 +111,41 @@ func TestLeaseClaimStealRenewRelease(t *testing.T) {
 	}
 }
 
+// TestRenewRefusesExpiredLease pins the ownership-continuity rule: a
+// holder that stalls past its own TTL must not renew the expired lease
+// even while nobody has stolen it yet, because a stealer may be
+// replacing the file at that very moment — a renew racing the steal
+// could leave both sides passing their read-backs, and the doubly-owned
+// range would commit duplicate points.
+func TestRenewRefusesExpiredLease(t *testing.T) {
+	dir := t.TempDir()
+	const ttl = 50 * time.Millisecond
+	if _, err := Coordinate(dir, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	l, stolen, err := tryClaim(dir, 0, "staller", ttl)
+	if err != nil || l == nil || stolen {
+		t.Fatalf("fresh claim: lease=%v stolen=%v err=%v", l, stolen, err)
+	}
+	time.Sleep(ttl + 20*time.Millisecond)
+	if err := l.renew(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("renew across the expiry boundary = %v, want ErrLeaseLost", err)
+	}
+	// The forfeited range is stealable as usual — including by the
+	// demoted holder itself, under a fresh nonce.
+	l2, stolen, err := tryClaim(dir, 0, "staller", ttl)
+	if err != nil || l2 == nil || !stolen {
+		t.Fatalf("re-claim after forfeit: lease=%v stolen=%v err=%v", l2, stolen, err)
+	}
+	if err := l2.renew(); err != nil {
+		t.Fatalf("renew of the re-claimed lease: %v", err)
+	}
+	// ...while the stale first lease stays fenced out everywhere.
+	if err := l.check(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale lease's check = %v, want ErrLeaseLost", err)
+	}
+}
+
 func TestGarbledLeaseExpiresByAge(t *testing.T) {
 	dir := t.TempDir()
 	const ttl = 50 * time.Millisecond

@@ -133,8 +133,11 @@ func tryClaim(dir string, r int, worker string, ttl time.Duration) (_ *lease, st
 }
 
 // renew extends the held lease's expiry. It fails with ErrLeaseLost
-// when the lease is no longer this worker's — the holder must treat
-// that as immediately fatal for the range.
+// when the lease is no longer this worker's — or is this worker's but
+// already expired, since past the expiry a stealer may be replacing it
+// concurrently — and the holder must treat that as immediately fatal
+// for the range. Heartbeating at a fraction of the TTL (Config's
+// default is TTL/4) keeps honest renewals far from the boundary.
 func (l *lease) renew() error {
 	got, _, ok, err := readLease(l.dir, l.r)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -144,6 +147,14 @@ func (l *lease) renew() error {
 		return fmt.Errorf("dsweep: renewing range %d: %w", l.r, err)
 	}
 	if !ok || got.Worker != l.worker || got.Nonce != l.nonce {
+		return ErrLeaseLost
+	}
+	if time.Now().UnixNano() >= got.Expires {
+		// Ownership is only continuous while the expiry holds. Once it
+		// has passed, a stealer may legitimately be replacing the file
+		// this very instant — renewing over it could leave both sides
+		// passing read-backs and believing they own the range. An
+		// expired lease is therefore unrenewable even by its own holder.
 		return ErrLeaseLost
 	}
 	data, err := l.body()

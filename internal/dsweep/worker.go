@@ -145,11 +145,15 @@ func Run(ctx context.Context, cfg Config, gen func(i int) []float64, fn sweep.Ar
 				stats.Leased++
 			}
 			st, err := runRange(ctx, cfg, plan, l, gen, fn)
-			stats.Archived += st.Archived
-			stats.Skipped += st.Skipped
-			stats.Shards += st.Shards
 			switch {
 			case err == nil:
+				// Aggregate the range's work only when it committed: a
+				// lost or failed range aborted its shards under
+				// DiscardOnCancel, so counting them would report points
+				// that were discarded and redone by other workers.
+				stats.Archived += st.Archived
+				stats.Skipped += st.Skipped
+				stats.Shards += st.Shards
 				stats.Completed++
 				progressed = true
 			case errors.Is(err, ErrLeaseLost):
@@ -227,10 +231,14 @@ func runRange(ctx context.Context, cfg Config, plan Plan, l *lease, gen func(i i
 	}()
 
 	run := sweep.ArchiveRun{
-		Dir:             cfg.Dir,
-		Lo:              lo,
-		Hi:              hi,
-		Workers:         cfg.RangeWorkers,
+		Dir:     cfg.Dir,
+		Lo:      lo,
+		Hi:      hi,
+		Workers: cfg.RangeWorkers,
+		// The lease TTL bounds how long a dead worker's tmp litter
+		// lingers. Safe for arbitrarily slow points: a live run freshens
+		// its open tmps' mtimes from well inside the TTL, so only a
+		// writer that actually died lets its tmp age out.
 		StaleTmpAfter:   cfg.TTL,
 		DiscardOnCancel: true,
 		BeforeSeal:      l.check,

@@ -22,6 +22,12 @@ import (
 // the directory (a distributed-sweep worker in another process) and
 // are never touched; lease-coordinated runs pass their lease TTL
 // instead, which bounds how long a dead worker's litter lingers.
+//
+// Age alone cannot distinguish a dead writer from a live one whose
+// current point simply computes for longer than the TTL without
+// flushing any bytes, so every run also freshens its open tmps'
+// mtimes on a timer well inside the TTL (see tmpKeepalive): only a
+// writer that stopped existing lets its tmp age out.
 const DefaultStaleTmpTTL = 10 * time.Minute
 
 // ArchiveStats summarizes one RunArchive call.
@@ -54,8 +60,8 @@ type ArchivePointFunc func(ctx context.Context, i int, params []float64, rec *ar
 // shard becomes visible under its final name only through an atomic
 // rename when it is sealed, so an interrupted run leaves complete
 // shards plus ignorable *.tmp litter (removed by a later call once it
-// is older than DefaultStaleTmpTTL — young temps may belong to a live
-// run sharing the directory and are never touched).
+// is older than DefaultStaleTmpTTL — live runs keep their open temps'
+// mtimes fresh, so a tmp that old belongs to no one).
 // RunArchive is resumable: it scans the completed shards already in dir
 // and skips their point indices, so re-running after a crash or cancel
 // archives exactly the missing points. Record payloads depend only on
@@ -90,7 +96,11 @@ type ArchiveRun struct {
 	// StaleTmpAfter gates crash-litter cleanup: *.tmp shards younger
 	// than this are presumed to belong to a live writer sharing the
 	// directory and are left alone. 0 means DefaultStaleTmpTTL; a
-	// negative value disables cleanup entirely.
+	// negative value disables cleanup entirely. The run keeps its own
+	// open tmps fresh (mtime bumps every StaleTmpAfter/4), so the gate
+	// stays safe no matter how long one point computes — but every run
+	// sharing a directory must use the same value, or a sharer with a
+	// shorter TTL could outpace a slower sharer's keepalive.
 	StaleTmpAfter time.Duration
 	// DiscardOnCancel aborts (instead of seals) every worker's shard
 	// when the run ends canceled. Lease-coordinated runs need this: a
@@ -165,6 +175,11 @@ func (r ArchiveRun) Run(ctx context.Context, gen func(i int) []float64, fn Archi
 	if workers > remaining {
 		workers = remaining
 	}
+	// Keep this run's open tmps visibly alive: a sharer's age-gated
+	// cleanup must never mistake them for crash litter, even when a
+	// single point computes past the TTL without flushing a byte.
+	keep := startTmpKeepalive(r.staleTmpTTL() / 4)
+	defer keep.close()
 
 	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
@@ -188,6 +203,11 @@ func (r ArchiveRun) Run(ctx context.Context, gen func(i int) []float64, fn Archi
 			defer wg.Done()
 			var aw *archive.Writer
 			defer func() {
+				if aw != nil {
+					// From here the shard is sealed, aborted, or (on a
+					// simulated crash) genuine litter — stop refreshing it.
+					keep.forget(aw.TmpPath())
+				}
 				if rec := recover(); rec != nil {
 					c, ok := failpoint.AsCrash(rec)
 					if !ok {
@@ -236,6 +256,7 @@ func (r ArchiveRun) Run(ctx context.Context, gen func(i int) []float64, fn Archi
 				fail("sweep: creating shard: %w", err)
 				return
 			}
+			keep.watch(aw.TmpPath())
 			for i := range idx {
 				if ctx.Err() != nil {
 					continue
@@ -271,19 +292,28 @@ feed:
 	return stats, parent.Err()
 }
 
+// staleTmpTTL resolves the effective crash-litter age gate. A negative
+// StaleTmpAfter disables this run's cleanup, but the default still
+// paces the keepalive: sharers may clean with gates of their own.
+func (r ArchiveRun) staleTmpTTL() time.Duration {
+	if r.StaleTmpAfter > 0 {
+		return r.StaleTmpAfter
+	}
+	return DefaultStaleTmpTTL
+}
+
 // cleanStaleTmps removes crash litter: in-progress shards of a dead
 // run that never reached their atomic rename. Their points were never
 // marked done, so removing them loses nothing — but when two processes
-// share a directory, a young *.tmp is most likely a live worker's
-// open shard, so only temps older than the TTL are touched.
+// share a directory, a *.tmp younger than the TTL is presumed to be a
+// live worker's open shard and is never touched. Live workers freshen
+// their tmps' mtimes from inside the TTL (tmpKeepalive), so age is a
+// faithful death certificate, not a guess about compute speed.
 func (r ArchiveRun) cleanStaleTmps() error {
-	ttl := r.StaleTmpAfter
-	if ttl < 0 {
+	if r.StaleTmpAfter < 0 {
 		return nil
 	}
-	if ttl == 0 {
-		ttl = DefaultStaleTmpTTL
-	}
+	ttl := r.staleTmpTTL()
 	tmps, err := filepath.Glob(archive.TmpPattern(r.Dir))
 	if err != nil {
 		return fmt.Errorf("sweep: %w", err)
@@ -305,6 +335,77 @@ func (r ArchiveRun) cleanStaleTmps() error {
 		}
 	}
 	return nil
+}
+
+// tmpKeepalive periodically freshens the mtime of every watched
+// in-progress shard so a sharing run's age-gated cleanup never
+// mistakes a live writer's tmp for crash litter — without it, a point
+// that computes longer than the TTL between flushes would let the tmp
+// age out while its writer is still alive, and a sibling would delete
+// (and then collide with) the open shard. Ticking at a quarter of the
+// TTL leaves a 4x margin over scheduling stalls.
+type tmpKeepalive struct {
+	mu    sync.Mutex
+	paths map[string]struct{}
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// startTmpKeepalive launches the refresh loop at the given period.
+func startTmpKeepalive(period time.Duration) *tmpKeepalive {
+	// A floor keeps a deliberately tiny TTL (tests force-expiring
+	// everything) from turning the loop into a busy spin.
+	const minPeriod = 10 * time.Millisecond
+	if period < minPeriod {
+		period = minPeriod
+	}
+	k := &tmpKeepalive{
+		paths: make(map[string]struct{}),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go func() {
+		defer close(k.done)
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-k.stop:
+				return
+			case <-t.C:
+			}
+			now := time.Now()
+			k.mu.Lock()
+			for p := range k.paths {
+				// Best-effort: a tmp sealed or aborted since the snapshot
+				// is gone, and freshening a reused name is harmless (it
+				// either belongs to a live sharer or ages out next TTL).
+				_ = os.Chtimes(p, now, now)
+			}
+			k.mu.Unlock()
+		}
+	}()
+	return k
+}
+
+// watch registers an open shard's tmp path for refreshing.
+func (k *tmpKeepalive) watch(path string) {
+	k.mu.Lock()
+	k.paths[path] = struct{}{}
+	k.mu.Unlock()
+}
+
+// forget stops refreshing a sealed, aborted, or abandoned tmp path.
+func (k *tmpKeepalive) forget(path string) {
+	k.mu.Lock()
+	delete(k.paths, path)
+	k.mu.Unlock()
+}
+
+// close stops the refresh loop and waits for it to exit.
+func (k *tmpKeepalive) close() {
+	close(k.stop)
+	<-k.done
 }
 
 // archivePoint runs one point against its worker's shard under the

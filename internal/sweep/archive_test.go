@@ -307,6 +307,56 @@ func TestRunArchiveSparesFreshTmp(t *testing.T) {
 	}
 }
 
+// TestRunArchiveSlowPointSurvivesSiblingCleanup pins the keepalive
+// half of the shared-directory contract: a worker whose current point
+// computes for longer than the stale-tmp TTL must keep its open tmp
+// shard looking alive, so a sibling run's TTL-gated cleanup (same TTL,
+// as the lease protocol guarantees) neither deletes the file out from
+// under the live writer nor reuses its shard id.
+func TestRunArchiveSlowPointSurvivesSiblingCleanup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-millisecond keepalive test")
+	}
+	dir := t.TempDir()
+	const ttl = 300 * time.Millisecond
+	started := make(chan struct{})
+	release := make(chan struct{})
+	slowPoint := func(ctx context.Context, i int, params []float64, rec *archive.RecordWriter) error {
+		close(started)
+		<-release
+		return testPoint(ctx, i, params, rec)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ArchiveRun{Dir: dir, Lo: 0, Hi: 1, Workers: 1, StaleTmpAfter: ttl}.
+			Run(context.Background(), testGen, slowPoint)
+		done <- err
+	}()
+	<-started
+	// Let the slow worker's open tmp sit well past the TTL; only the
+	// keepalive's mtime refresh keeps it looking alive.
+	time.Sleep(2 * ttl)
+	// A sibling over the neighboring range runs the same TTL-gated
+	// cleanup on arrival — it must spare the live tmp.
+	if _, err := (ArchiveRun{Dir: dir, Lo: 1, Hi: 3, Workers: 1, StaleTmpAfter: ttl}).
+		Run(context.Background(), testGen, testPoint); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("slow worker failed after sibling's cleanup pass: %v", err)
+	}
+	mustNoTmpFiles(t, dir)
+	a, err := archive.OpenDir(dir)
+	if err != nil {
+		t.Fatalf("archive corrupt after shared-directory run: %v", err)
+	}
+	defer a.Close()
+	if a.Len() != 3 {
+		t.Fatalf("archive holds %d points, want 3", a.Len())
+	}
+}
+
 // TestArchiveRunRangeMode: an ArchiveRun bounded to [lo, hi) archives
 // exactly that range and resumes within it, which is what lets a
 // lease-coordinated worker run only its leased slice of the sweep.
