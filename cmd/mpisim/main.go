@@ -144,7 +144,7 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := tr.WriteCSV(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {

@@ -152,8 +152,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
 		if err := spec.Save(f); err != nil {
+			_ = f.Close()
+			log.Fatal(err)
+		}
+		// A buffered write error can surface at Close; "written" must
+		// not be reported until the file is really closed clean.
+		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("scenario written to %s\n", *savePath)

@@ -1,0 +1,82 @@
+// Command pomvet is the repo's determinism-aware static checker: a
+// vet-style multichecker enforcing the source-level invariants the
+// bitwise-reproducibility guarantees rest on. It loads the named
+// packages (go list patterns; default ./...), runs the five analyzers
+// from internal/analysis, and exits nonzero on any finding.
+//
+// Usage:
+//
+//	pomvet [-json] [-maprange=false] [...] [packages]
+//
+// Each analyzer has an enable/disable flag named after it. Findings
+// print as file:line:col: analyzer: message, or as a JSON array with
+// -json. Exit status: 0 clean, 1 findings, 2 load or usage errors.
+// Suppress a single site with `//pomvet:allow <analyzer> <reason>` on
+// the offending line, the line above, or the enclosing declaration's
+// doc comment; the reason is mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	enabled := make(map[string]*bool)
+	for _, a := range analysis.All() {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		enabled[a.Name] = flag.Bool(a.Name, true, doc)
+	}
+	flag.Parse()
+
+	var active []*analysis.Analyzer
+	for _, a := range analysis.All() {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	findings := analysis.Run(pkgs, active)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "pomvet: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}

@@ -124,7 +124,7 @@ func main() {
 		log.Fatal(err)
 	}
 	already := a.Len()
-	a.Close()
+	_ = a.Close() // read-only close; the count is already in hand
 	fmt.Printf("interrupted: %d of %d points archived before the crash\n", already, *points)
 
 	// --- 2. resume -------------------------------------------------------
@@ -143,12 +143,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer got.Close()
+	defer func() { _ = got.Close() }() // read-only close
 	want, err := archive.OpenDir(refDir)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer want.Close()
+	defer func() { _ = want.Close() }() // read-only close
 	if got.Len() != *points || want.Len() != *points {
 		log.Fatalf("archives hold %d / %d points, want %d", got.Len(), want.Len(), *points)
 	}

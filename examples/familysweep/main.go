@@ -114,7 +114,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer a.Close()
+	defer func() { _ = a.Close() }() // read-only close
 	var bytesTotal int64
 	for _, s := range a.Shards() {
 		bytesTotal += s.Size()

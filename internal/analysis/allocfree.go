@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AllocFree rejects allocating constructs inside functions annotated
+// //pomvet:allocfree.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc: `reject allocating constructs in functions annotated //pomvet:allocfree
+
+The RHS, solver-step, sink-row, and event-heap hot paths are pinned
+allocation-free at runtime by PERFORMANCE.md's AllocsPerRun tests;
+this is their static twin. Inside an annotated function the analyzer
+flags make/new, append (it may grow), closures, go statements, map and
+slice literals, &composite escapes, string concatenation and
+string<->[]byte conversions, and calls into the formatting packages
+(fmt, errors, strconv, sort, log). The annotation covers one function
+body: callees must earn their own annotation, and the runtime pins
+remain the end-to-end check.`,
+	Run: runAllocFree,
+}
+
+// allocHeavyPkgs are stdlib packages whose entry points allocate by
+// design (formatting, boxing into any/interface arguments).
+var allocHeavyPkgs = map[string]bool{
+	"fmt":     true,
+	"errors":  true,
+	"strconv": true,
+	"sort":    true,
+	"log":     true,
+}
+
+func runAllocFree(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isAllocFreeAnnotated(fn) {
+				continue
+			}
+			checkAllocFree(pass, fn)
+		}
+	}
+}
+
+// isAllocFreeAnnotated reports whether the function's doc comment
+// carries the //pomvet:allocfree directive.
+func isAllocFreeAnnotated(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == AllocFreeDirective ||
+			strings.HasPrefix(c.Text, AllocFreeDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAllocFree walks one annotated function body and reports every
+// construct that can reach the allocator.
+func checkAllocFree(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkAllocFreeCall(pass, name, n)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "%s is //pomvet:allocfree but contains a closure (captures escape to the heap)", name)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "%s is //pomvet:allocfree but starts a goroutine", name)
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "%s is //pomvet:allocfree but builds a map literal", name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "%s is //pomvet:allocfree but builds a slice literal", name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "%s is //pomvet:allocfree but takes the address of a composite literal (escapes to the heap)", name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				if t, ok := info.Types[n].Type.Underlying().(*types.Basic); ok && t.Info()&types.IsString != 0 {
+					pass.Reportf(n.Pos(), "%s is //pomvet:allocfree but concatenates strings", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkAllocFreeCall classifies one call inside an annotated body.
+func checkAllocFreeCall(pass *Pass, name string, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s is //pomvet:allocfree but calls %s", name, b.Name())
+			case "append":
+				pass.Reportf(call.Pos(), "%s is //pomvet:allocfree but calls append (growth allocates)", name)
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && allocHeavyPkgs[fn.Pkg().Path()] {
+			pass.Reportf(call.Pos(), "%s is //pomvet:allocfree but calls %s.%s (formats/allocates)",
+				name, fn.Pkg().Name(), fn.Name())
+			return
+		}
+	}
+	// Conversions between strings and byte/rune slices copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type.Underlying()
+		src := info.Types[call.Args[0]].Type.Underlying()
+		if stringsSliceConv(dst, src) || stringsSliceConv(src, dst) {
+			pass.Reportf(call.Pos(), "%s is //pomvet:allocfree but converts between string and byte/rune slice (copies)", name)
+		}
+	}
+}
+
+// stringsSliceConv reports whether a is a string and b a []byte or
+// []rune.
+func stringsSliceConv(a, b types.Type) bool {
+	ab, ok := a.(*types.Basic)
+	if !ok || ab.Info()&types.IsString == 0 {
+		return false
+	}
+	bs, ok := b.(*types.Slice)
+	if !ok {
+		return false
+	}
+	eb, ok := bs.Elem().Underlying().(*types.Basic)
+	return ok && (eb.Kind() == types.Byte || eb.Kind() == types.Rune ||
+		eb.Kind() == types.Uint8 || eb.Kind() == types.Int32)
+}

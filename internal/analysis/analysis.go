@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// An Analyzer is one determinism check. Run inspects a package through
+// the Pass and reports findings; the driver owns suppression and
+// ordering.
+type Analyzer struct {
+	// Name is the analyzer's flag and suppression-directive name.
+	Name string
+	// Doc is a one-paragraph description; the first line is the CLI
+	// flag help text.
+	Doc string
+	// Run inspects pass.Files and calls pass.Reportf for each finding.
+	Run func(*Pass)
+}
+
+// A Finding is one diagnostic at a source position.
+type Finding struct {
+	// Analyzer is the reporting analyzer's name (or "pomvet" for
+	// directive syntax errors).
+	Analyzer string `json:"analyzer"`
+	// Pos locates the finding.
+	Pos token.Position `json:"pos"`
+	// Message describes the violation and the sanctioned idiom.
+	Message string `json:"message"`
+}
+
+// String formats the finding the way compilers do, so editors and CI
+// log scrapers pick it up: file:line:col: analyzer: message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s",
+		f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// A Pass connects one analyzer to one package.
+type Pass struct {
+	// Analyzer is the running analyzer.
+	Analyzer *Analyzer
+	// Pkg is the package under analysis.
+	Pkg *Package
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzers to every package, drops findings silenced
+// by a well-formed //pomvet:allow directive, appends diagnostics for
+// malformed directives, and returns everything sorted by position.
+// Directive diagnostics ride under the pseudo-analyzer name "pomvet"
+// and cannot be suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	// Directive validity must not depend on which analyzers are
+	// enabled: a run with -wallclock=false still accepts the tree's
+	// //pomvet:allow wallclock annotations.
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var all []Finding
+	for _, pkg := range pkgs {
+		dirs := parseDirectives(pkg, known)
+		var raw []Finding
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, findings: &raw})
+		}
+		for _, f := range raw {
+			if !dirs.allows(f.Analyzer, f.Pos) {
+				all = append(all, f)
+			}
+		}
+		all = append(all, dirs.problems...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return all
+}

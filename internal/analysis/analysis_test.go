@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestFixtures runs each analyzer over its golden fixture package and
+// compares the findings against the fixture's // want `regexp`
+// comments. A finding with no want, or a want with no finding, fails —
+// so weakening detection breaks this test.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		fixture  string
+	}{
+		{MapRange, "maprange"},
+		{WallClock, "wallclock"},
+		{GlobalRand, "globalrand"},
+		{SyncErr, "syncerr"},
+		{AllocFree, "allocfree"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			pkgs, err := Load(".", "./testdata/src/"+tc.fixture)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkWants(t, pkgs, Run(pkgs, []*Analyzer{tc.analyzer}))
+		})
+	}
+}
+
+// TestRepoIsClean is pomvet's own acceptance gate: the full repository
+// must be free of findings under every analyzer. When this fails,
+// either fix the violation or annotate the site with a reasoned
+// //pomvet:allow — silencing the analyzer is not an option, because
+// the fixtures above pin its detection strength.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole tree")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Run(pkgs, All()) {
+		t.Errorf("%s", f)
+	}
+}
+
+// wantSpec is one expectation parsed from a // want comment: a finding
+// on this line whose message matches re.
+type wantSpec struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantLitRE extracts the backquoted patterns of a want comment.
+var wantLitRE = regexp.MustCompile("`([^`]+)`")
+
+// collectWants parses the // want `regexp` comments out of the loaded
+// fixture files. A single comment may carry several patterns when one
+// line produces several findings.
+func collectWants(t *testing.T, pkgs []*Package) []*wantSpec {
+	t.Helper()
+	var wants []*wantSpec
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					lits := wantLitRE.FindAllStringSubmatch(rest, -1)
+					if len(lits) == 0 {
+						t.Fatalf("%s:%d: want comment without a backquoted pattern: %s",
+							pos.Filename, pos.Line, c.Text)
+					}
+					for _, m := range lits {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+						}
+						wants = append(wants, &wantSpec{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkWants matches findings against wants one-to-one.
+func checkWants(t *testing.T, pkgs []*Package, findings []Finding) {
+	t.Helper()
+	wants := collectWants(t, pkgs)
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line &&
+				w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// All returns the repo's analyzers in their canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{MapRange, WallClock, GlobalRand, SyncErr, AllocFree}
+}
+
+// exprString renders an expression for diagnostics.
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// prefix is the comment marker all pomvet directives start with.
+const prefix = "//pomvet:"
+
+// AllocFreeDirective marks a function whose body the allocfree
+// analyzer must prove free of allocating constructs.
+const AllocFreeDirective = "//pomvet:allocfree"
+
+// allowRange is a declaration-scoped suppression: an allow directive
+// in a declaration's doc comment silences the analyzer across the
+// whole declaration.
+type allowRange struct {
+	file       string
+	start, end int // line range, inclusive
+	analyzer   string
+}
+
+// directives holds one package's parsed //pomvet: comments.
+type directives struct {
+	// lines maps file -> line -> analyzers allowed on that line.
+	lines map[string]map[int]map[string]bool
+	// ranges are declaration-scoped suppressions.
+	ranges []allowRange
+	// problems are malformed directives, reported as findings.
+	problems []Finding
+}
+
+// allows reports whether a finding by the named analyzer at pos is
+// silenced by a directive.
+func (d *directives) allows(analyzer string, pos token.Position) bool {
+	if byLine, ok := d.lines[pos.Filename]; ok {
+		if set, ok := byLine[pos.Line]; ok && set[analyzer] {
+			return true
+		}
+	}
+	for _, r := range d.ranges {
+		if r.analyzer == analyzer && r.file == pos.Filename &&
+			r.start <= pos.Line && pos.Line <= r.end {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirectives scans every comment of the package for //pomvet:
+// directives. An allow directive written as a trailing comment (or on
+// the line just above the offending one) targets that line; written in
+// a declaration's doc comment it targets the whole declaration. The
+// reason is mandatory — an unexplained suppression is itself a
+// finding — and so is naming a real analyzer.
+func parseDirectives(pkg *Package, known map[string]bool) *directives {
+	d := &directives{lines: make(map[string]map[int]map[string]bool)}
+	for _, file := range pkg.Files {
+		declOf := docRanges(pkg.Fset, file)
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				d.parse(pkg, c, declOf[group], known)
+			}
+		}
+	}
+	return d
+}
+
+// parse handles one directive comment. declRange is the enclosing
+// declaration's line range when the comment is a doc comment, nil
+// otherwise.
+func (d *directives) parse(pkg *Package, c *ast.Comment, declRange *[2]int, known map[string]bool) {
+	pos := pkg.Fset.Position(c.Pos())
+	body := strings.TrimPrefix(c.Text, prefix)
+	fields := strings.Fields(body)
+	verb := ""
+	if len(fields) > 0 {
+		verb = fields[0]
+	}
+	switch verb {
+	case "allocfree":
+		// Consumed by the allocfree analyzer via the doc comment; only
+		// the syntax is validated here.
+		if len(fields) > 1 {
+			d.problem(pos, "//pomvet:allocfree takes no arguments")
+		}
+	case "allow":
+		if len(fields) < 2 {
+			d.problem(pos, "//pomvet:allow needs an analyzer name and a reason")
+			return
+		}
+		name := fields[1]
+		if !known[name] {
+			d.problem(pos, "//pomvet:allow names unknown analyzer %q", name)
+			return
+		}
+		if len(fields) < 3 {
+			d.problem(pos, "//pomvet:allow %s is missing its mandatory reason", name)
+			return
+		}
+		if declRange != nil {
+			d.ranges = append(d.ranges, allowRange{
+				file: pos.Filename, start: declRange[0], end: declRange[1], analyzer: name,
+			})
+			return
+		}
+		d.allowLine(pos.Filename, pos.Line, name)
+		d.allowLine(pos.Filename, pos.Line+1, name)
+	default:
+		d.problem(pos, "unknown directive %q", strings.TrimRight(prefix+verb, " "))
+	}
+}
+
+// allowLine records a line-scoped suppression.
+func (d *directives) allowLine(file string, line int, analyzer string) {
+	byLine := d.lines[file]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		d.lines[file] = byLine
+	}
+	set := byLine[line]
+	if set == nil {
+		set = make(map[string]bool)
+		byLine[line] = set
+	}
+	set[analyzer] = true
+}
+
+// problem records a malformed directive as an unsuppressable finding.
+func (d *directives) problem(pos token.Position, format string, args ...any) {
+	d.problems = append(d.problems, Finding{
+		Analyzer: "pomvet",
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// docRanges maps each declaration doc-comment group to the line span
+// of its declaration, so doc-level allow directives can cover whole
+// functions (the lease and keepalive clocks) instead of single lines.
+func docRanges(fset *token.FileSet, file *ast.File) map[*ast.CommentGroup]*[2]int {
+	out := make(map[*ast.CommentGroup]*[2]int)
+	for _, decl := range file.Decls {
+		var doc *ast.CommentGroup
+		switch n := decl.(type) {
+		case *ast.FuncDecl:
+			doc = n.Doc
+		case *ast.GenDecl:
+			doc = n.Doc
+		}
+		if doc != nil {
+			out[doc] = &[2]int{fset.Position(decl.Pos()).Line, fset.Position(decl.End()).Line}
+		}
+	}
+	return out
+}

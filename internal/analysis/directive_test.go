@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDirectiveParsing loads the directive fixture — a package of
+// malformed and well-formed //pomvet: comments — and checks that each
+// malformed directive is itself a finding, that a rejected suppression
+// does not silence the underlying diagnostic, and that the one
+// well-formed allow does.
+func TestDirectiveParsing(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/directive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(pkgs, All())
+
+	wantProblems := []string{
+		`//pomvet:allow wallclock is missing its mandatory reason`,
+		`//pomvet:allow names unknown analyzer "clock"`,
+		`unknown directive "//pomvet:silence"`,
+		`//pomvet:allocfree takes no arguments`,
+	}
+	var problems, clocks []Finding
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "pomvet":
+			problems = append(problems, f)
+		case "wallclock":
+			clocks = append(clocks, f)
+		default:
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	if len(problems) != len(wantProblems) {
+		t.Errorf("got %d directive problems, want %d:\n%v", len(problems), len(wantProblems), problems)
+	}
+	for _, want := range wantProblems {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no directive problem containing %q", want)
+		}
+	}
+	// Three clock reads sit under rejected directives and must still be
+	// reported; the fourth, under the well-formed allow, must not.
+	if len(clocks) != 3 {
+		t.Errorf("got %d wallclock findings, want 3 (a rejected suppression must not silence):\n%v",
+			len(clocks), clocks)
+	}
+}
+
+// TestDirectivesValidWhenAnalyzerDisabled pins that disabling an
+// analyzer does not turn its existing suppressions into unknown-name
+// problems: the wallclock fixture's //pomvet:allow wallclock
+// annotations must stay valid under a syncerr-only run.
+func TestDirectivesValidWhenAnalyzerDisabled(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/wallclock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Run(pkgs, []*Analyzer{SyncErr}) {
+		t.Errorf("unexpected finding with wallclock disabled: %s", f)
+	}
+}

@@ -1,0 +1,40 @@
+// Package analysis is the engine behind cmd/pomvet: a stdlib-only
+// (go/ast + go/parser + go/types + `go list`) vet-style framework that
+// machine-checks the source-level discipline the repo's
+// bitwise-reproducibility guarantees rest on. Every determinism pin in
+// the test suite — parallel RHS evaluation equal to serial, resumed
+// archives identical to uninterrupted runs, distributed fleets merging
+// file-for-file equal to a serial sweep — holds only as long as the
+// code avoids a handful of innocent-looking constructs; the analyzers
+// here reject those constructs at lint time instead of waiting for a
+// probabilistic test failure.
+//
+// Five analyzers ship with the framework:
+//
+//   - maprange: map iteration whose body has order-dependent effects
+//     (appends, sink writes, calls, error construction, float
+//     accumulation) must go through the collect-keys-then-sort idiom.
+//   - wallclock: time.Now / time.Since / timers are forbidden —
+//     simulated time comes from the solver. The sanctioned wall-clock
+//     sites (dsweep lease expiry, sweep tmp keepalive, retry backoff)
+//     carry in-source //pomvet:allow annotations.
+//   - globalrand: the global math/rand functions and process-seeded
+//     sources are forbidden in favor of internal/stats' explicitly
+//     seeded RNG.
+//   - syncerr: a discarded error from Sync / Close / Rename / Chtimes
+//     on a durability path is a silent hole in the crash-consistency
+//     protocol; errors must be checked or visibly assigned away.
+//   - allocfree: functions annotated //pomvet:allocfree (the RHS,
+//     step, sink-row, and event-heap hot paths) must contain no
+//     allocating constructs — the static twin of PERFORMANCE.md's
+//     AllocsPerRun pins.
+//
+// Suppression is per-site and reviewable: `//pomvet:allow <analyzer>
+// <reason>` on the offending line (or the line above, or in the
+// enclosing declaration's doc comment) silences one analyzer there;
+// the reason is mandatory and malformed directives are themselves
+// diagnostics. Packages are loaded through `go list -export -deps
+// -json` and type-checked against the toolchain's export data, so the
+// checker needs no dependencies beyond the standard library and a
+// working `go` tool.
+package analysis

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand (and v2) functions that build an
+// explicitly seeded generator instead of touching process-global
+// state. They stay legal — though internal/stats.NewRNG is the house
+// RNG — because passing a seed is exactly the discipline the analyzer
+// exists to enforce.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// GlobalRand forbids the global math/rand functions and process-seeded
+// sources.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: `forbid global math/rand functions in favor of explicitly seeded RNGs
+
+rand.Intn, rand.Float64, rand.Shuffle, … draw from a process-global
+source that is auto-seeded and shared across goroutines: two runs of
+the same spec produce different numbers, and two goroutines race for
+the stream. Every random draw in simulation code must come from an
+explicitly seeded generator — internal/stats.NewRNG is the house one —
+threaded through the call path.`,
+	Run: runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			path := obj.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || randConstructors[fn.Name()] {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on an explicit *rand.Rand are fine
+			}
+			pass.Reportf(id.Pos(),
+				"rand.%s uses the process-global auto-seeded source; use internal/stats' seeded RNG (or an explicit rand.New(rand.NewSource(seed)))",
+				fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,309 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange forbids map iteration with order-dependent effects.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc: `forbid map iteration whose effects depend on iteration order
+
+Go randomizes map iteration order per run, so any observable effect
+that differs between orders — appending values, writing rows to a
+sink, building an error message, accumulating floats — makes output
+differ run to run. Order-insensitive bodies stay legal: collecting
+keys into a slice that is sorted right after the loop (the sorted-keys
+idiom), writing into another map keyed by the loop key, deleting keys,
+integer accumulation, and setting constant flags. Everything else must
+iterate sorted keys instead.`,
+	Run: runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				if rng, ok := stmt.(*ast.RangeStmt); ok && isMapRange(pass, rng) {
+					checkMapRange(pass, rng, list[i+1:])
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isMapRange reports whether rng iterates a map.
+func isMapRange(pass *Pass, rng *ast.RangeStmt) bool {
+	tv, ok := pass.Pkg.Info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// mapRangeCheck carries the state of checking one map-range body.
+type mapRangeCheck struct {
+	pass      *Pass
+	rng       *ast.RangeStmt
+	keyObj    types.Object      // the loop key variable, nil when blank/absent
+	following []ast.Stmt        // statements after the loop in its block
+	okCalls   map[ast.Node]bool // calls sanctioned by an allowed assignment
+}
+
+// checkMapRange validates the body of one map iteration.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, following []ast.Stmt) {
+	c := &mapRangeCheck{
+		pass:      pass,
+		rng:       rng,
+		following: following,
+		okCalls:   make(map[ast.Node]bool),
+	}
+	if id, ok := rng.Key.(*ast.Ident); ok && id.Name != "_" {
+		if rng.Tok == token.DEFINE {
+			c.keyObj = pass.Pkg.Info.Defs[id]
+		} else {
+			c.keyObj = pass.Pkg.Info.Uses[id]
+		}
+	}
+	c.walk(rng.Body)
+}
+
+// walk inspects a statement tree, reporting order-dependent effects.
+func (c *mapRangeCheck) walk(root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range is checked on its own (with its own
+			// sorted-after context); don't double-report its body.
+			if n != c.rng && isMapRange(c.pass, n) {
+				return false
+			}
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.SendStmt:
+			c.pass.Reportf(n.Pos(), "channel send inside map iteration delivers values in random order; iterate sorted keys")
+		case *ast.GoStmt:
+			c.pass.Reportf(n.Pos(), "goroutine started inside map iteration; iterate sorted keys")
+		case *ast.DeferStmt:
+			c.pass.Reportf(n.Pos(), "defer inside map iteration runs in random order; iterate sorted keys")
+		case *ast.ReturnStmt:
+			c.checkReturn(n)
+		case *ast.CallExpr:
+			c.checkCall(n)
+		}
+		return true
+	})
+}
+
+// checkAssign vets one assignment inside the loop body.
+func (c *mapRangeCheck) checkAssign(as *ast.AssignStmt) {
+	info := c.pass.Pkg.Info
+	for i, lhs := range as.Lhs {
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if l.Name == "_" || c.isLoopLocal(l, as.Tok) {
+				continue
+			}
+			if c.checkOuterIdentAssign(as, i, l) {
+				continue
+			}
+		case *ast.IndexExpr:
+			// Writing another map at the loop key touches each slot once,
+			// so order cannot matter; any other index target can collide.
+			if xt := info.TypeOf(l.X); xt != nil {
+				if _, isMap := xt.Underlying().(*types.Map); isMap && c.isLoopKey(l.Index) {
+					continue
+				}
+			}
+		}
+		c.pass.Reportf(lhs.Pos(),
+			"assignment to %s inside map iteration depends on iteration order; iterate sorted keys (or //pomvet:allow maprange <reason>)",
+			exprString(lhs))
+	}
+}
+
+// checkOuterIdentAssign vets an assignment to a variable declared
+// outside the loop, returning true when it is order-insensitive.
+func (c *mapRangeCheck) checkOuterIdentAssign(as *ast.AssignStmt, i int, l *ast.Ident) bool {
+	info := c.pass.Pkg.Info
+	var rhs ast.Expr
+	if len(as.Rhs) == len(as.Lhs) {
+		rhs = as.Rhs[i]
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		lt := info.TypeOf(l)
+		if lt == nil {
+			return false
+		}
+		t, ok := lt.Underlying().(*types.Basic)
+		if ok && t.Info()&types.IsInteger != 0 {
+			return true // integer accumulation commutes exactly
+		}
+		if ok && t.Info()&types.IsFloat != 0 {
+			c.pass.Reportf(as.Pos(),
+				"floating-point accumulation into %s inside map iteration is order-dependent (fp addition does not commute bitwise); iterate sorted keys", l.Name)
+			return true // already reported, skip the generic message
+		}
+	case token.ASSIGN:
+		if rhs == nil {
+			return false
+		}
+		if tv, ok := info.Types[rhs]; ok && tv.Value != nil {
+			return true // setting a constant is idempotent across orders
+		}
+		if c.isKeyAppend(l, rhs) {
+			if !c.sortedAfter(l) {
+				c.pass.Reportf(c.rng.Pos(),
+					"map keys collected into %s are never sorted; sort them right after the loop for a deterministic order", l.Name)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// isKeyAppend reports whether rhs is `append(dst, key)` — the
+// collect-keys half of the sorted-keys idiom.
+func (c *mapRangeCheck) isKeyAppend(dst *ast.Ident, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis != 0 {
+		return false
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := c.pass.Pkg.Info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	arg0, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || c.pass.Pkg.Info.Uses[arg0] != c.pass.Pkg.Info.ObjectOf(dst) {
+		return false
+	}
+	if !c.isLoopKey(call.Args[1]) {
+		return false
+	}
+	c.okCalls[call] = true
+	return true
+}
+
+// sortedAfter reports whether some statement after the loop sorts the
+// slice held by obj's variable.
+func (c *mapRangeCheck) sortedAfter(slice *ast.Ident) bool {
+	obj := c.pass.Pkg.Info.ObjectOf(slice)
+	info := c.pass.Pkg.Info
+	for _, stmt := range c.following {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			pkg := fn.Pkg().Path()
+			if pkg != "sort" && pkg != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(a ast.Node) bool {
+					if id, ok := a.(*ast.Ident); ok && info.Uses[id] == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isLoopKey reports whether e is exactly the loop's key variable.
+func (c *mapRangeCheck) isLoopKey(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && c.keyObj != nil && c.pass.Pkg.Info.Uses[id] == c.keyObj
+}
+
+// isLoopLocal reports whether the assigned ident is declared inside
+// the loop (including the key/value variables), so its lifetime is one
+// iteration and order cannot be observed through it.
+func (c *mapRangeCheck) isLoopLocal(id *ast.Ident, tok token.Token) bool {
+	info := c.pass.Pkg.Info
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		// A := definition of a genuinely new variable inside the body.
+		return tok == token.DEFINE
+	}
+	return c.rng.Pos() <= obj.Pos() && obj.Pos() < c.rng.End()
+}
+
+// checkReturn vets a return inside the loop: returning a value picked
+// by iteration order is the classic nondeterministic-error bug.
+func (c *mapRangeCheck) checkReturn(ret *ast.ReturnStmt) {
+	info := c.pass.Pkg.Info
+	for _, res := range ret.Results {
+		if tv, ok := info.Types[res]; ok && tv.Value != nil {
+			continue // constant results don't reveal which key triggered
+		}
+		if id, ok := ast.Unparen(res).(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		c.pass.Reportf(ret.Pos(),
+			"return inside map iteration yields a value chosen by random order (%s); iterate sorted keys", exprString(res))
+		return
+	}
+}
+
+// checkCall vets a call inside the loop body. Builtins that cannot
+// observe order (len, cap, min, max), conversions, and deletes are
+// fine — delete commutes because removals of distinct keys are
+// independent. Any other call may write to a sink, build an error, or
+// otherwise leak iteration order.
+func (c *mapRangeCheck) checkCall(call *ast.CallExpr) {
+	if c.okCalls[call] {
+		return
+	}
+	info := c.pass.Pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	if fun, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap", "min", "max", "delete", "real", "imag", "complex":
+				return
+			case "append":
+				return // owned by the assignment checks
+			}
+			c.pass.Reportf(call.Pos(),
+				"call to %s inside map iteration may have order-dependent effects; iterate sorted keys (or //pomvet:allow maprange <reason>)", b.Name())
+			return
+		}
+	}
+	c.pass.Reportf(call.Pos(),
+		"call to %s inside map iteration may have order-dependent effects; iterate sorted keys (or //pomvet:allow maprange <reason>)",
+		exprString(call.Fun))
+}

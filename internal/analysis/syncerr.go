@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SyncErr flags discarded errors from the durability-critical file
+// operations.
+var SyncErr = &Analyzer{
+	Name: "syncerr",
+	Doc: `flag discarded errors from Sync, Close, Rename, and Chtimes
+
+The archive/dsweep crash-consistency protocol is only as strong as its
+weakest unchecked error: a swallowed fsync or rename failure silently
+converts "committed" into "maybe committed", and a buffered writer
+reports its flush failure from Close. Calling one of these as a bare
+statement (or under defer/go) drops the error invisibly; check it, or
+make the drop auditable with an explicit "_ =" assignment.`,
+	Run: runSyncErr,
+}
+
+// syncErrMethods are the method names whose error result must not be
+// dropped, on any receiver type: these are the seams the failpoint
+// rules inject faults into under the archive writer.
+var syncErrMethods = map[string]bool{
+	"Close": true,
+	"Sync":  true,
+}
+
+// syncErrOSFuncs are the package os functions under the same rule.
+var syncErrOSFuncs = map[string]bool{
+	"Rename":  true,
+	"Chtimes": true,
+}
+
+func runSyncErr(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+				how = "discarded"
+			case *ast.DeferStmt:
+				call = s.Call
+				how = "discarded by defer"
+			case *ast.GoStmt:
+				call = s.Call
+				how = "discarded by go"
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			fn := callee(pass.Pkg.Info, call)
+			if fn == nil || !returnsError(fn) {
+				return true
+			}
+			sig := fn.Type().(*types.Signature)
+			switch {
+			case sig.Recv() != nil && syncErrMethods[fn.Name()]:
+				pass.Reportf(call.Pos(),
+					"error from %s %s; a dropped %s error is a hole in the durability protocol — check it or assign it to _ explicitly",
+					fn.Name(), how, fn.Name())
+			case sig.Recv() == nil && fn.Pkg() != nil && fn.Pkg().Path() == "os" && syncErrOSFuncs[fn.Name()]:
+				pass.Reportf(call.Pos(),
+					"error from os.%s %s; check it or assign it to _ explicitly",
+					fn.Name(), how)
+			}
+			return true
+		})
+	}
+}
+
+// callee resolves a call expression to the called named function or
+// method, nil for builtins, conversions, and function values.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// returnsError reports whether fn's last result is error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}

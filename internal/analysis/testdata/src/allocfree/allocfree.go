@@ -1,0 +1,96 @@
+// Package allocfree is the golden fixture for the allocfree analyzer:
+// inside a //pomvet:allocfree function every construct that can reach
+// the allocator is a finding; unannotated functions allocate freely.
+package allocfree
+
+import "fmt"
+
+// dot is annotated and genuinely alloc-free.
+//
+//pomvet:allocfree
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// grow is annotated but calls make and append.
+//
+//pomvet:allocfree
+func grow(xs []int) []int {
+	ys := make([]int, 0, len(xs)) // want `grow is //pomvet:allocfree but calls make`
+	for _, x := range xs {
+		ys = append(ys, x) // want `grow is //pomvet:allocfree but calls append`
+	}
+	return ys
+}
+
+// format is annotated but calls into the formatting packages.
+//
+//pomvet:allocfree
+func format(x int) {
+	fmt.Println(x) // want `format is //pomvet:allocfree but calls fmt.Println`
+}
+
+// capture is annotated but builds a closure.
+//
+//pomvet:allocfree
+func capture(x int) func() int {
+	return func() int { return x } // want `capture is //pomvet:allocfree but contains a closure`
+}
+
+// concat is annotated but concatenates strings.
+//
+//pomvet:allocfree
+func concat(a, b string) string {
+	return a + b // want `concat is //pomvet:allocfree but concatenates strings`
+}
+
+// convert is annotated but copies through a conversion.
+//
+//pomvet:allocfree
+func convert(s string) []byte {
+	return []byte(s) // want `convert is //pomvet:allocfree but converts between string and byte/rune slice`
+}
+
+// literal is annotated but builds a slice literal.
+//
+//pomvet:allocfree
+func literal() []int {
+	return []int{1, 2, 3} // want `literal is //pomvet:allocfree but builds a slice literal`
+}
+
+// point anchors the composite-escape case.
+type point struct{ x, y int }
+
+// escape is annotated but lets a composite literal escape.
+//
+//pomvet:allocfree
+func escape() *point {
+	return &point{1, 2} // want `escape is //pomvet:allocfree but takes the address of a composite literal`
+}
+
+// launch is annotated but starts a goroutine.
+//
+//pomvet:allocfree
+func launch(ch chan int) {
+	go send(ch) // want `launch is //pomvet:allocfree but starts a goroutine`
+}
+
+// send feeds launch's goroutine.
+func send(ch chan int) { ch <- 1 }
+
+// suppressed documents a sanctioned warm-up allocation with a
+// reasoned line-scoped allow.
+//
+//pomvet:allocfree
+func suppressed(xs []int, x int) []int {
+	return append(xs, x) //pomvet:allow allocfree fixture exercises suppression of an amortized warm-up growth
+}
+
+// unannotated may allocate freely.
+func unannotated(n int) []int {
+	return make([]int, n)
+}

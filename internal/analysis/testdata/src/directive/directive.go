@@ -1,0 +1,41 @@
+// Package directive is the fixture for //pomvet: directive parsing:
+// malformed directives are findings in their own right, a rejected
+// suppression must not silence the underlying diagnostic, and a
+// well-formed allow must.
+package directive
+
+import "time"
+
+// missingReason's directive names an analyzer but omits the mandatory
+// reason, so both the directive and the clock read surface.
+func missingReason() time.Time {
+	//pomvet:allow wallclock
+	return time.Now()
+}
+
+// unknownAnalyzer's directive names no real analyzer.
+func unknownAnalyzer() time.Time {
+	//pomvet:allow clock skew is fine here
+	return time.Now()
+}
+
+// unknownVerb is not a directive pomvet knows.
+//
+//pomvet:silence wallclock
+func unknownVerb() time.Time {
+	return time.Now()
+}
+
+// wellFormed is fully suppressed by a reasoned doc-scoped allow.
+//
+//pomvet:allow wallclock fixture documents the one sanctioned form
+func wellFormed() time.Time {
+	return time.Now()
+}
+
+// argsOnAllocFree passes arguments to the no-argument directive.
+//
+//pomvet:allocfree because it is hot
+func argsOnAllocFree(a, b float64) float64 {
+	return a + b
+}

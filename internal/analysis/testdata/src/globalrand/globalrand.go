@@ -1,0 +1,37 @@
+// Package globalrand is the golden fixture for the globalrand
+// analyzer: draws from the process-global auto-seeded source are
+// findings; explicitly seeded generators are the sanctioned form.
+package globalrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// draw uses the process-global source.
+func draw() int {
+	return rand.Intn(6) // want `rand.Intn uses the process-global auto-seeded source`
+}
+
+// shuffle does too.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle uses the process-global auto-seeded source`
+}
+
+// drawV2 hits the v2 global source as well.
+func drawV2() int {
+	return randv2.IntN(6) // want `rand.IntN uses the process-global auto-seeded source`
+}
+
+// seeded builds an explicit generator: the discipline the analyzer
+// exists to enforce, so constructors and methods stay legal.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// seededV2 does the same through the v2 API.
+func seededV2(a, b uint64) uint64 {
+	r := randv2.New(randv2.NewPCG(a, b))
+	return r.Uint64()
+}

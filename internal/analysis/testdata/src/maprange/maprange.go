@@ -1,0 +1,110 @@
+// Package maprange is the golden fixture for the maprange analyzer:
+// order-dependent effects inside map iteration are findings, the
+// sanctioned order-insensitive idioms are not.
+package maprange
+
+import (
+	"fmt"
+	"sort"
+)
+
+// sumFloats accumulates floats over random iteration order — the
+// bitwise-noncommutativity case gets its own message.
+func sumFloats(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want `floating-point accumulation into s`
+	}
+	return s
+}
+
+// countInts is legal: integer accumulation commutes exactly.
+func countInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// sortedKeys is the sanctioned sorted-keys idiom.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// unsortedKeys collects keys but never sorts them.
+func unsortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `map keys collected into keys are never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// printValues leaks iteration order through a sink call.
+func printValues(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `call to fmt.Println inside map iteration`
+	}
+}
+
+// appendValues builds a slice in random order.
+func appendValues(m map[string]int, dst []int) []int {
+	for _, v := range m {
+		dst = append(dst, v) // want `assignment to dst inside map iteration`
+	}
+	return dst
+}
+
+// transfer writes another map at the loop key: each slot is written
+// exactly once, so order cannot matter.
+func transfer(src, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// firstValue returns a value picked by random order — the classic
+// nondeterministic-error bug.
+func firstValue(errs map[string]error) error {
+	for _, err := range errs {
+		return err // want `return inside map iteration`
+	}
+	return nil
+}
+
+// drain deletes while iterating, which the spec sanctions.
+func drain(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// sends delivers values in random order.
+func sends(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside map iteration`
+	}
+}
+
+// closeAll defers in random order; both the defer and the deferred
+// call are reported.
+func closeAll(m map[string]func()) {
+	for _, f := range m {
+		defer f() // want `defer inside map iteration` `call to f inside map iteration`
+	}
+}
+
+// loopLocals is legal: variables defined inside the body live one
+// iteration, so order cannot be observed through them.
+func loopLocals(m map[string]int) {
+	for _, v := range m {
+		x := v * 2
+		_ = x
+	}
+}

@@ -1,0 +1,73 @@
+// Package syncerr is the golden fixture for the syncerr analyzer:
+// dropping the error from Sync, Close, Rename, or Chtimes as a bare
+// statement (or under defer/go) is a finding; checking it or assigning
+// it to _ explicitly is not.
+package syncerr
+
+import (
+	"os"
+	"time"
+)
+
+// drop discards a Close error as a bare statement.
+func drop(f *os.File) {
+	f.Close() // want `error from Close discarded`
+}
+
+// deferDrop discards under defer — the buffered-writer flush-failure
+// hole.
+func deferDrop(f *os.File) {
+	defer f.Close() // want `error from Close discarded by defer`
+}
+
+// goDrop discards on a goroutine.
+func goDrop(f *os.File) {
+	go f.Sync() // want `error from Sync discarded by go`
+}
+
+// syncDrop discards the fsync result that the commit protocol depends
+// on.
+func syncDrop(f *os.File) {
+	f.Sync() // want `error from Sync discarded`
+}
+
+// renameDrop discards the atomic-publish step's error.
+func renameDrop(a, b string) {
+	os.Rename(a, b) // want `error from os.Rename discarded`
+}
+
+// touchDrop discards an os.Chtimes error. The zero time.Time is a
+// fixture placeholder, not a clock read.
+func touchDrop(p string) {
+	var epoch time.Time
+	os.Chtimes(p, epoch, epoch) // want `error from os.Chtimes discarded`
+}
+
+// acknowledged drops are auditable, not findings.
+func acknowledged(f *os.File) {
+	_ = f.Close()
+}
+
+// wrapped is the sanctioned read-only close idiom.
+func wrapped(f *os.File) {
+	defer func() { _ = f.Close() }()
+}
+
+// checked is the real fix.
+func checked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// latch has an error-free Close: nothing to drop.
+type latch struct{ ch chan struct{} }
+
+// Close signals completion; it cannot fail.
+func (l *latch) Close() { close(l.ch) }
+
+// closeLatch is fine: no error result to discard.
+func closeLatch(l *latch) {
+	l.Close()
+}

@@ -1,0 +1,51 @@
+// Package wallclock is the golden fixture for the wallclock analyzer:
+// reads of the ambient clock are findings unless a reasoned
+// //pomvet:allow annotation sanctions the site.
+package wallclock
+
+import "time"
+
+// stamp reads the ambient clock.
+func stamp() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+// wait schedules against it.
+func wait(d time.Duration) {
+	time.Sleep(d) // want `time.Sleep reads the wall clock`
+}
+
+// elapsed measures with it.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads the wall clock`
+}
+
+// ticker builds a timer off it.
+func ticker(d time.Duration) *time.Ticker {
+	return time.NewTicker(d) // want `time.NewTicker reads the wall clock`
+}
+
+// span is fine: Duration arithmetic never reads the clock.
+func span(n int) time.Duration {
+	return time.Duration(n) * time.Millisecond
+}
+
+// epoch is fine: construction from an explicit instant.
+func epoch() time.Time {
+	return time.Unix(0, 0)
+}
+
+// meter is sanctioned across its whole body by a doc-scoped allow.
+//
+//pomvet:allow wallclock fixture exercises declaration-scoped suppression
+func meter(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}
+
+// tick is sanctioned at one line only; the next clock read still
+// fires.
+func tick(t0 time.Time) (time.Duration, time.Time) {
+	//pomvet:allow wallclock fixture exercises line-scoped suppression
+	d := time.Since(t0)
+	return d, time.Now() // want `time.Now reads the wall clock`
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the package time functions that read or schedule
+// against the machine's wall clock. Monotonic or not, none of them may
+// influence simulation state: simulated time comes from the solver,
+// and two runs of the same spec must not diverge because one host was
+// slower. Construction helpers like time.Duration arithmetic,
+// time.Unix, or formatting are fine — it is the *reading* of the
+// ambient clock that breaks reproducibility.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Sleep":     true,
+}
+
+// WallClock forbids reading the wall clock outside explicitly
+// annotated sites.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: `forbid wall-clock reads (time.Now, time.Since, timers) in simulation code
+
+Simulated time must come from the solver; wall-clock reads make output
+depend on host speed and scheduling. The sanctioned uses — dsweep
+lease expiry, sweep tmp-keepalive aging, retry backoff, progress
+meters — carry //pomvet:allow wallclock annotations at the site.`,
+	Run: runWallClock,
+}
+
+func runWallClock(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if _, isFunc := obj.(*types.Func); isFunc && wallClockFuncs[obj.Name()] {
+				pass.Reportf(id.Pos(),
+					"time.%s reads the wall clock; simulated time must come from the solver (or annotate the site: //pomvet:allow wallclock <reason>)",
+					obj.Name())
+			}
+			return true
+		})
+	}
+}

@@ -32,7 +32,7 @@ func OpenShard(path string) (*Shard, error) {
 	}
 	s := &Shard{Path: path, f: f}
 	if err := s.loadIndex(); err != nil {
-		f.Close()
+		_ = f.Close() // the index error is the one worth reporting
 		return nil, err
 	}
 	return s, nil
@@ -310,14 +310,14 @@ func OpenDir(dir string) (*Archive, error) {
 	for _, name := range names {
 		s, err := OpenShard(name)
 		if err != nil {
-			a.Close()
+			_ = a.Close() // the open error is the one worth reporting
 			return nil, err
 		}
 		a.shards = append(a.shards, s)
 		si := len(a.shards) - 1
 		for slot, e := range s.ents {
 			if prev, dup := a.locs[e.index]; dup {
-				a.Close()
+				_ = a.Close() // the corruption error is the one worth reporting
 				return nil, fmt.Errorf("%w: point %d appears in both %s and %s",
 					ErrCorrupt, e.index, a.shards[prev.shard].Path, name)
 			}

@@ -45,6 +45,7 @@ type event struct {
 // interface{} round-trips.
 type eventHeap []event
 
+//pomvet:allocfree
 func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
@@ -52,8 +53,9 @@ func (h eventHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
+//pomvet:allocfree
 func (h *eventHeap) push(e event) {
-	*h = append(*h, e)
+	*h = append(*h, e) //pomvet:allow allocfree backing array is pre-sized by the engine; growth is amortized warm-up, and the AllocsPerRun pin proves the steady state
 	q := *h
 	i := len(q) - 1
 	for i > 0 {
@@ -66,6 +68,7 @@ func (h *eventHeap) push(e event) {
 	}
 }
 
+//pomvet:allocfree
 func (h *eventHeap) pop() event {
 	q := *h
 	n := len(q) - 1

@@ -238,6 +238,8 @@ func (m *Model) initialState() []float64 {
 }
 
 // hashUnit maps (seed, i) to a deterministic uniform in [0, 1).
+//
+//pomvet:allocfree
 func hashUnit(seed uint64, i int) float64 {
 	z := seed ^ 0x9e3779b97f4a7c15
 	z ^= uint64(i+1) * 0xbf58476d1ce4e5b9
@@ -248,6 +250,8 @@ func hashUnit(seed uint64, i int) float64 {
 }
 
 // zeta returns ζ_i(t), guarded so the instantaneous period stays positive.
+//
+//pomvet:allocfree
 func (m *Model) zeta(i int, t float64) float64 {
 	if m.cfg.LocalNoise == nil {
 		return 0
@@ -261,6 +265,8 @@ func (m *Model) zeta(i int, t float64) float64 {
 
 // rhs writes the Eq. (2) right-hand side. past is nil for the pure-ODE
 // path (no interaction noise); then partner phases are read from y.
+//
+//pomvet:allocfree
 func (m *Model) rhs(t float64, y []float64, past ode.Past, dydt []float64) {
 	if past != nil && m.cfg.InteractionNoise != nil {
 		m.rhsDelayed(t, y, past, dydt)
@@ -295,6 +301,8 @@ func (m *Model) EvalRHS(t float64, y, dydt []float64) { m.rhs(t, y, nil, dydt) }
 // scratch buffer, evaluate the potential over the block in one batched
 // call, then reduce each row. Chunks touch disjoint dbuf/dydt ranges, so
 // pool workers can run this concurrently without synchronization.
+//
+//pomvet:allocfree
 func (m *Model) rhsRange(t float64, y, dydt []float64, lo, hi int) {
 	rowPtr, cols, rows, buf := m.flat.RowPtr, m.flat.Cols, m.rows, m.dbuf
 	b0, b1 := rowPtr[lo], rowPtr[hi]
@@ -325,6 +333,8 @@ func (m *Model) rhsRange(t float64, y, dydt []float64, lo, hi int) {
 // rhsDelayed is the DDE path: partner phases older than t are read from
 // the dense-output history. Delays are per-pair and time-dependent, so
 // this path stays scalar; it still walks the flat CSR arrays.
+//
+//pomvet:allocfree
 func (m *Model) rhsDelayed(t float64, y []float64, past ode.Past, dydt []float64) {
 	rowPtr, cols := m.flat.RowPtr, m.flat.Cols
 	inoise := m.cfg.InteractionNoise

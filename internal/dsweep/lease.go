@@ -51,6 +51,8 @@ type lease struct {
 }
 
 // body serializes the lease with a fresh expiry.
+//
+//pomvet:allow wallclock lease expiry is wall-clock by design: liveness of a worker on another machine can only be judged by real elapsed time, never by simulated time
 func (l *lease) body() ([]byte, error) {
 	b, err := json.Marshal(leaseBody{
 		Worker:  l.worker,
@@ -94,6 +96,8 @@ var nonceSeq = &tmpSeq
 // and TTL-old) lease — the steal path that re-leases dead workers'
 // ranges. It returns (nil, false, nil) when the range is owned by a
 // live worker or the steal race was lost.
+//
+//pomvet:allow wallclock steal decisions compare the holder's wall-clock expiry (and a torn lease's file age) against real time; no simulated clock exists across processes
 func tryClaim(dir string, r int, worker string, ttl time.Duration) (_ *lease, stolen bool, err error) {
 	l := &lease{dir: dir, r: r, worker: worker, nonce: nonceSeq.Add(1), ttl: ttl}
 	data, err := l.body()
@@ -138,6 +142,8 @@ func tryClaim(dir string, r int, worker string, ttl time.Duration) (_ *lease, st
 // concurrently — and the holder must treat that as immediately fatal
 // for the range. Heartbeating at a fraction of the TTL (Config's
 // default is TTL/4) keeps honest renewals far from the boundary.
+//
+//pomvet:allow wallclock the expired-lease refusal compares the lease's wall-clock expiry against real time; renewal liveness is inherently wall-clock
 func (l *lease) renew() error {
 	got, _, ok, err := readLease(l.dir, l.r)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -175,6 +181,8 @@ func (l *lease) renew() error {
 
 // check verifies the lease is still held and unexpired — the fencing
 // probe run just before a shard commit.
+//
+//pomvet:allow wallclock commit fencing must judge lease expiry in real time; a stolen range is detected by the wall clock having passed the lease's expiry
 func (l *lease) check() error {
 	got, _, ok, err := readLease(l.dir, l.r)
 	if err != nil || !ok || got.Worker != l.worker || got.Nonce != l.nonce {

@@ -47,7 +47,7 @@ func Merge(srcDir, dstDir string, perShard int) (MergeStats, error) {
 	if err != nil {
 		return stats, fmt.Errorf("dsweep: opening %s: %w", srcDir, err)
 	}
-	defer src.Close()
+	defer func() { _ = src.Close() }() // read-only close
 	switch plan, err := LoadPlan(srcDir); {
 	case err == nil:
 		missing := missingIn(src, plan.N)
@@ -97,7 +97,7 @@ func Missing(dir string, n int) ([]int, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dsweep: opening %s: %w", dir, err)
 	}
-	defer a.Close()
+	defer func() { _ = a.Close() }() // read-only close
 	return missingIn(a, n), nil
 }
 
@@ -120,12 +120,12 @@ func Equal(aDir, bDir string) error {
 	if err != nil {
 		return fmt.Errorf("dsweep: opening %s: %w", aDir, err)
 	}
-	defer a.Close()
+	defer func() { _ = a.Close() }() // read-only close
 	b, err := archive.OpenDir(bDir)
 	if err != nil {
 		return fmt.Errorf("dsweep: opening %s: %w", bDir, err)
 	}
-	defer b.Close()
+	defer func() { _ = b.Close() }() // read-only close
 	for _, idx := range a.Indices() {
 		if !b.Has(idx) {
 			return fmt.Errorf("dsweep: point %d is in %s but not %s", idx, aDir, bDir)

@@ -147,12 +147,12 @@ func writeFileSync(path string, data []byte) error {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		_ = os.Remove(path)
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // the sync error is the one worth reporting
 		_ = os.Remove(path)
 		return err
 	}

@@ -136,6 +136,8 @@ func MaxAbs(xs []float64) float64 {
 
 // MinMax returns the minimum and maximum of xs. It returns ErrEmptyInput
 // for an empty slice.
+//
+//pomvet:allocfree
 func MinMax(xs []float64) (lo, hi float64, err error) {
 	if len(xs) == 0 {
 		return 0, 0, ErrEmptyInput
@@ -199,6 +201,8 @@ func NormInf(xs []float64) float64 { return MaxAbs(xs) }
 // ScaledNorm returns the RMS norm of err scaled component-wise by
 // tol_i = atol + rtol*max(|y0_i|, |y1_i|), the standard error norm used by
 // adaptive ODE step controllers (Hairer–Nørsett–Wanner II.4).
+//
+//pomvet:allocfree
 func ScaledNorm(errv, y0, y1 []float64, atol, rtol float64) float64 {
 	n := len(errv)
 	if n == 0 {

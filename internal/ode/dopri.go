@@ -138,10 +138,12 @@ func (p *SegmentPool) Put(seg *DenseSegment) {
 }
 
 // Eval writes the interpolated state at time t into dst and returns it.
+//
+//pomvet:allocfree
 func (seg *DenseSegment) Eval(t float64, dst []float64) []float64 {
 	n := len(seg.rcont[0])
 	if cap(dst) < n {
-		dst = make([]float64, n)
+		dst = make([]float64, n) //pomvet:allow allocfree first-use resize only; the solver hands pre-sized sample buffers on the steady-state path
 	}
 	dst = dst[:n]
 	th := (t - seg.T0) / seg.H
@@ -153,6 +155,8 @@ func (seg *DenseSegment) Eval(t float64, dst []float64) []float64 {
 }
 
 // EvalComponent interpolates a single state component at time t.
+//
+//pomvet:allocfree
 func (seg *DenseSegment) EvalComponent(j int, t float64) float64 {
 	th := (t - seg.T0) / seg.H
 	th1 := 1 - th
@@ -398,6 +402,8 @@ func checkSamplePlan(n int, at func(int) float64, t0, t1 float64) error {
 
 // step performs one trial step of size h from (t, y) into ynew and returns
 // the scaled error norm. k1 must hold f(t, y) on entry; k2..k7 are filled.
+//
+//pomvet:allocfree
 func (s *DOPRI5) step(f Func, t float64, y []float64, h float64, ynew []float64) float64 {
 	n := len(y)
 	for i := 0; i < n; i++ {
@@ -432,6 +438,8 @@ func (s *DOPRI5) step(f Func, t float64, y []float64, h float64, ynew []float64)
 
 // fillDense writes the continuous extension of the step just accepted
 // into seg, whose interpolation vectors must already be sized (reserve).
+//
+//pomvet:allocfree
 func (s *DOPRI5) fillDense(seg *DenseSegment, t, h float64, y, ynew []float64) {
 	n := len(y)
 	seg.T0, seg.H = t, h

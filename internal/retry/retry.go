@@ -122,6 +122,8 @@ func (p Policy) Do(ctx context.Context, op func() error) error {
 }
 
 // sleep waits d or until ctx ends, whichever comes first.
+//
+//pomvet:allow wallclock backoff between retries of real I/O is inherently wall-clock; no simulation state depends on it
 func sleep(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)
 	defer t.Stop()

@@ -652,7 +652,7 @@ func LoadFile(path string) (*Spec, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only close
 	return Load(f)
 }
 

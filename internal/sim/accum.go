@@ -55,10 +55,12 @@ func (a *SpreadAccumulator) Begin(_, nSamples int) {
 }
 
 // Sample implements Sink.
+//
+//pomvet:allocfree
 func (a *SpreadAccumulator) Sample(_ float64, theta []float64) {
 	s := stats.PhaseSpread(theta)
 	if a.KeepTimeline {
-		a.Timeline = append(a.Timeline, s)
+		a.Timeline = append(a.Timeline, s) //pomvet:allow allocfree opt-in timeline retention; off on the sweep hot path
 	}
 	if s > a.max {
 		a.max = s
@@ -116,10 +118,12 @@ func (a *OrderAccumulator) Begin(_, nSamples int) {
 }
 
 // Sample implements Sink.
+//
+//pomvet:allocfree
 func (a *OrderAccumulator) Sample(_ float64, theta []float64) {
 	r, _ := stats.OrderParameter(theta)
 	if a.KeepTimeline {
-		a.Timeline = append(a.Timeline, r)
+		a.Timeline = append(a.Timeline, r) //pomvet:allow allocfree opt-in timeline retention; off on the sweep hot path
 	}
 	if r < a.min {
 		a.min = r

@@ -14,6 +14,8 @@ import (
 // r = 1 means perfect synchrony, r ≈ 0 a uniformly spread (incoherent or
 // perfectly desynchronized) phase distribution. This is the classic global
 // synchrony measure used to compare POM against the plain Kuramoto model.
+//
+//pomvet:allocfree
 func OrderParameter(theta []float64) (r, psi float64) {
 	n := len(theta)
 	if n == 0 {
@@ -35,6 +37,8 @@ func OrderParameter(theta []float64) (r, psi float64) {
 // phases) this is the natural desynchronization measure: zero in lockstep,
 // and settling at (N−1)·2σ/3 in the fully developed computational
 // wavefront of the desynchronizing potential.
+//
+//pomvet:allocfree
 func PhaseSpread(theta []float64) float64 {
 	lo, hi, err := mathx.MinMax(theta)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -158,7 +159,7 @@ func (r ArchiveRun) Run(ctx context.Context, gen func(i int) []float64, fn Archi
 			done[int(idx)] = true
 		}
 	}
-	prev.Close()
+	_ = prev.Close() // read-only close; the index set is already in hand
 	stats.Skipped = len(done)
 	remaining := r.Hi - r.Lo - stats.Skipped
 	if remaining == 0 {
@@ -309,6 +310,8 @@ func (r ArchiveRun) staleTmpTTL() time.Duration {
 // live worker's open shard and is never touched. Live workers freshen
 // their tmps' mtimes from inside the TTL (tmpKeepalive), so age is a
 // faithful death certificate, not a guess about compute speed.
+//
+//pomvet:allow wallclock tmp staleness is judged by real file age because a dead sharing process can only be detected by wall-clock time passing
 func (r ArchiveRun) cleanStaleTmps() error {
 	if r.StaleTmpAfter < 0 {
 		return nil
@@ -352,6 +355,8 @@ type tmpKeepalive struct {
 }
 
 // startTmpKeepalive launches the refresh loop at the given period.
+//
+//pomvet:allow wallclock keepalive must freshen tmp mtimes in real time so sibling processes' TTL-gated cleanup sees this writer as alive; simulation output never observes these clocks
 func startTmpKeepalive(period time.Duration) *tmpKeepalive {
 	// A floor keeps a deliberately tiny TTL (tests force-expiring
 	// everything) from turning the loop into a busy spin.
@@ -376,13 +381,18 @@ func startTmpKeepalive(period time.Duration) *tmpKeepalive {
 			}
 			now := time.Now()
 			k.mu.Lock()
+			paths := make([]string, 0, len(k.paths))
 			for p := range k.paths {
+				paths = append(paths, p)
+			}
+			k.mu.Unlock()
+			sort.Strings(paths)
+			for _, p := range paths {
 				// Best-effort: a tmp sealed or aborted since the snapshot
 				// is gone, and freshening a reused name is harmless (it
 				// either belongs to a live sharer or ages out next TTL).
 				_ = os.Chtimes(p, now, now)
 			}
-			k.mu.Unlock()
 		}
 	}()
 	return k
