@@ -1,16 +1,23 @@
 // Command pomvet is the repo's determinism-aware static checker: a
 // vet-style multichecker enforcing the source-level invariants the
 // bitwise-reproducibility guarantees rest on. It loads the named
-// packages (go list patterns; default ./...), runs the five analyzers
+// packages (go list patterns; default ./...), runs the analyzers
 // from internal/analysis, and exits nonzero on any finding.
 //
 // Usage:
 //
-//	pomvet [-json] [-maprange=false] [...] [packages]
+//	pomvet [-json] [-fix [-diff]] [-list] [-maprange=false] [...] [packages]
 //
-// Each analyzer has an enable/disable flag named after it. Findings
-// print as file:line:col: analyzer: message, or as a JSON array with
-// -json. Exit status: 0 clean, 1 findings, 2 load or usage errors.
+// Each analyzer has an enable/disable flag named after it; -list
+// prints the roster with the one-line docs and exits. Findings print
+// as file:line:col: analyzer: message, or as a JSON array with -json
+// (each entry carries pos, end, message, and any suggested fix with
+// byte-offset edits). -fix applies the suggested fixes in place; with
+// -diff it prints the files that would change instead of writing them.
+//
+// Exit status: 0 clean (or every finding fixed), 1 findings remain,
+// 2 load or usage errors.
+//
 // Suppress a single site with `//pomvet:allow <analyzer> <reason>` on
 // the offending line, the line above, or the enclosing declaration's
 // doc comment; the reason is mandatory.
@@ -21,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -30,14 +38,40 @@ func main() {
 	os.Exit(run())
 }
 
+func usage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprintln(w, "usage: pomvet [flags] [packages]")
+	fmt.Fprintln(w, "")
+	fmt.Fprintln(w, "Exit status: 0 clean (or every finding fixed), 1 findings remain,")
+	fmt.Fprintln(w, "2 load or usage errors.")
+	fmt.Fprintln(w, "")
+	flag.PrintDefaults()
+}
+
 func run() int {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	flag.CommandLine.Usage = usage
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (with end positions and fix edits)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	fix := flag.Bool("fix", false, "apply suggested fixes to the source in place")
+	diff := flag.Bool("diff", false, "with -fix: print the files that would change, do not write")
 	enabled := make(map[string]*bool)
 	for _, a := range analysis.All() {
 		doc, _, _ := strings.Cut(a.Doc, "\n")
 		enabled[a.Name] = flag.Bool(a.Name, true, doc)
 	}
 	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-12s %s\n", a.Name, doc)
+		}
+		return 0
+	}
+	if *diff && !*fix {
+		fmt.Fprintln(os.Stderr, "pomvet: -diff requires -fix")
+		return 2
+	}
 
 	var active []*analysis.Analyzer
 	for _, a := range analysis.All() {
@@ -57,6 +91,38 @@ func run() int {
 	}
 
 	findings := analysis.Run(pkgs, active)
+
+	if *fix {
+		fixed, err := analysis.ApplyFixes(findings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if *diff {
+			for _, f := range sortedKeys(fixed) {
+				fmt.Printf("pomvet: would fix %s\n", f)
+			}
+		} else if len(fixed) > 0 {
+			if err := analysis.WriteFixes(fixed); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			for _, f := range sortedKeys(fixed) {
+				fmt.Printf("pomvet: fixed %s\n", f)
+			}
+		}
+		// Findings whose fix was applied are resolved; report the rest.
+		var rest []analysis.Finding
+		for _, f := range findings {
+			if f.Fix == nil || *diff {
+				rest = append(rest, f)
+			}
+		}
+		if !*diff {
+			findings = rest
+		}
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -79,4 +145,14 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// sortedKeys returns the map's keys in sorted order for stable output.
+func sortedKeys(m map[string][]byte) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

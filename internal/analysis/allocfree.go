@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -19,9 +20,27 @@ flags make/new, append (it may grow), closures, go statements, map and
 slice literals, &composite escapes, string concatenation and
 string<->[]byte conversions, and calls into the formatting packages
 (fmt, errors, strconv, sort, log). The annotation covers one function
-body: callees must earn their own annotation, and the runtime pins
-remain the end-to-end check.`,
+body; allocflow extends the guarantee through the call graph.`,
 	Run: runAllocFree,
+}
+
+// AllocFlow propagates allocation-freedom through the call graph.
+var AllocFlow = &Analyzer{
+	Name: "allocflow",
+	Doc: `propagate //pomvet:allocfree transitively through the call graph
+
+allocfree proves one body clean; this analyzer closes the loophole a
+helper opens: an annotated function calling an unannotated one is
+analyzed through that callee's own body, and its callees', until the
+chain either stays clean, reaches another annotation (audited at its
+own site), or hits an allocating construct — which is reported at the
+call site in the annotated function, with the chain and the offending
+position. A stray append three helpers down no longer slips past the
+static twin of the AllocsPerRun pins. Callees without loaded bodies
+(stdlib beyond the known formatting packages, interface methods,
+function values) are trusted; the runtime pins remain the end-to-end
+check.`,
+	Run: runAllocFlow,
 }
 
 // allocHeavyPkgs are stdlib packages whose entry points allocate by
@@ -34,6 +53,14 @@ var allocHeavyPkgs = map[string]bool{
 	"log":     true,
 }
 
+// An allocSite is one allocating construct found in a function body.
+type allocSite struct {
+	pos token.Pos
+	// what completes the sentence "<fn> is //pomvet:allocfree but
+	// <what>" — also reused in allocflow chains.
+	what string
+}
+
 func runAllocFree(pass *Pass) {
 	for _, file := range pass.Pkg.Files {
 		for _, decl := range file.Decls {
@@ -41,15 +68,120 @@ func runAllocFree(pass *Pass) {
 			if !ok || fn.Body == nil || !isAllocFreeAnnotated(fn) {
 				continue
 			}
-			checkAllocFree(pass, fn)
+			for _, site := range allocSitesIn(pass.Pkg, fn.Body) {
+				pass.Reportf(site.pos, "%s is //pomvet:allocfree but %s", fn.Name.Name, site.what)
+			}
 		}
 	}
+}
+
+func runAllocFlow(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isAllocFreeAnnotated(fn) {
+				continue
+			}
+			obj, ok := pass.Pkg.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := pass.prog.Graph.Node(obj.FullName())
+			if node == nil {
+				continue
+			}
+			reported := make(map[funcID]bool)
+			for _, cs := range node.Calls {
+				if pass.prog.annotated[cs.Callee] || reported[cs.Callee] {
+					continue // audited at its own declaration
+				}
+				chain := pass.prog.allocChain(cs.Callee, make(map[funcID]bool))
+				if chain == nil {
+					continue
+				}
+				reported[cs.Callee] = true
+				detail := chain.site.what
+				if len(chain.path) > 1 {
+					detail += " in " + chain.path[len(chain.path)-1]
+				}
+				pass.ReportRangef(cs.Call.Pos(), cs.Call.End(),
+					"%s is //pomvet:allocfree but calls %s, which can allocate: %s (at %s)",
+					fn.Name.Name, strings.Join(chain.path, " → "),
+					detail, pass.Pkg.Fset.Position(chain.site.pos))
+			}
+		}
+	}
+}
+
+// An allocChain is a call path from an unannotated callee down to a
+// concrete allocating construct.
+type allocChain struct {
+	// path holds the short names of the functions along the way,
+	// outermost first.
+	path []string
+	// site is the allocating construct at the end of the path.
+	site allocSite
+}
+
+// allocChain finds (and memoizes) the first allocating construct
+// reachable from the named function through unannotated callees with
+// loaded bodies. Alloc sites suppressed by //pomvet:allow allocfree or
+// allocflow directives in their own package do not count — a reasoned
+// warm-up append stays sanctioned for every caller.
+func (p *Program) allocChain(id funcID, seen map[funcID]bool) *allocChain {
+	if p.allocDone[id] {
+		return p.allocMemo[id]
+	}
+	if seen[id] {
+		return nil
+	}
+	seen[id] = true
+	node := p.Graph.Node(id)
+	if node == nil || p.annotated[id] {
+		p.allocDone[id] = true
+		return nil
+	}
+	name := shortFuncName(node.Fn)
+	var chain *allocChain
+	for _, site := range allocSitesIn(node.Pkg, node.Decl.Body) {
+		if p.allowedAt(node.Pkg, site.pos) {
+			continue
+		}
+		chain = &allocChain{path: []string{name}, site: site}
+		break
+	}
+	if chain == nil {
+		for _, cs := range node.Calls {
+			if p.annotated[cs.Callee] {
+				continue
+			}
+			sub := p.allocChain(cs.Callee, seen)
+			if sub == nil {
+				continue
+			}
+			chain = &allocChain{path: append([]string{name}, sub.path...), site: sub.site}
+			break
+		}
+	}
+	p.allocMemo[id], p.allocDone[id] = chain, true
+	return chain
+}
+
+// allowedAt reports whether an allocation fact at pos is silenced by
+// an allocfree or allocflow allow directive in its own package.
+func (p *Program) allowedAt(pkg *Package, pos token.Pos) bool {
+	d := p.dirs[pkg]
+	if d == nil {
+		return false
+	}
+	position := pkg.Fset.Position(pos)
+	return d.allows("allocfree", position) || d.allows("allocflow", position)
 }
 
 // isAllocFreeAnnotated reports whether the function's doc comment
 // carries the //pomvet:allocfree directive.
 func isAllocFreeAnnotated(fn *ast.FuncDecl) bool {
-	if fn.Doc == nil {
+	if fn == nil || fn.Doc == nil {
 		return false
 	}
 	for _, c := range fn.Doc.List {
@@ -61,62 +193,65 @@ func isAllocFreeAnnotated(fn *ast.FuncDecl) bool {
 	return false
 }
 
-// checkAllocFree walks one annotated function body and reports every
-// construct that can reach the allocator.
-func checkAllocFree(pass *Pass, fn *ast.FuncDecl) {
-	info := pass.Pkg.Info
-	name := fn.Name.Name
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+// allocSitesIn walks one function body and collects every construct
+// that can reach the allocator, in source order.
+func allocSitesIn(pkg *Package, body *ast.BlockStmt) []allocSite {
+	var sites []allocSite
+	info := pkg.Info
+	add := func(pos token.Pos, what string) {
+		sites = append(sites, allocSite{pos: pos, what: what})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			checkAllocFreeCall(pass, name, n)
+			allocCallSite(pkg, n, add)
 		case *ast.FuncLit:
-			pass.Reportf(n.Pos(), "%s is //pomvet:allocfree but contains a closure (captures escape to the heap)", name)
+			add(n.Pos(), "contains a closure (captures escape to the heap)")
 		case *ast.GoStmt:
-			pass.Reportf(n.Pos(), "%s is //pomvet:allocfree but starts a goroutine", name)
+			add(n.Pos(), "starts a goroutine")
 		case *ast.CompositeLit:
 			switch info.Types[n].Type.Underlying().(type) {
 			case *types.Map:
-				pass.Reportf(n.Pos(), "%s is //pomvet:allocfree but builds a map literal", name)
+				add(n.Pos(), "builds a map literal")
 			case *types.Slice:
-				pass.Reportf(n.Pos(), "%s is //pomvet:allocfree but builds a slice literal", name)
+				add(n.Pos(), "builds a slice literal")
 			}
 		case *ast.UnaryExpr:
-			if n.Op.String() == "&" {
+			if n.Op == token.AND {
 				if _, ok := n.X.(*ast.CompositeLit); ok {
-					pass.Reportf(n.Pos(), "%s is //pomvet:allocfree but takes the address of a composite literal (escapes to the heap)", name)
+					add(n.Pos(), "takes the address of a composite literal (escapes to the heap)")
 				}
 			}
 		case *ast.BinaryExpr:
-			if n.Op.String() == "+" {
+			if n.Op == token.ADD {
 				if t, ok := info.Types[n].Type.Underlying().(*types.Basic); ok && t.Info()&types.IsString != 0 {
-					pass.Reportf(n.Pos(), "%s is //pomvet:allocfree but concatenates strings", name)
+					add(n.Pos(), "concatenates strings")
 				}
 			}
 		}
 		return true
 	})
+	return sites
 }
 
-// checkAllocFreeCall classifies one call inside an annotated body.
-func checkAllocFreeCall(pass *Pass, name string, call *ast.CallExpr) {
-	info := pass.Pkg.Info
+// allocCallSite classifies one call.
+func allocCallSite(pkg *Package, call *ast.CallExpr, add func(token.Pos, string)) {
+	info := pkg.Info
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
 		if b, ok := info.Uses[fun].(*types.Builtin); ok {
 			switch b.Name() {
 			case "make", "new":
-				pass.Reportf(call.Pos(), "%s is //pomvet:allocfree but calls %s", name, b.Name())
+				add(call.Pos(), "calls "+b.Name())
 			case "append":
-				pass.Reportf(call.Pos(), "%s is //pomvet:allocfree but calls append (growth allocates)", name)
+				add(call.Pos(), "calls append (growth allocates)")
 			}
 			return
 		}
 	case *ast.SelectorExpr:
 		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok &&
 			fn.Pkg() != nil && allocHeavyPkgs[fn.Pkg().Path()] {
-			pass.Reportf(call.Pos(), "%s is //pomvet:allocfree but calls %s.%s (formats/allocates)",
-				name, fn.Pkg().Name(), fn.Name())
+			add(call.Pos(), "calls "+fn.Pkg().Name()+"."+fn.Name()+" (formats/allocates)")
 			return
 		}
 	}
@@ -125,7 +260,7 @@ func checkAllocFreeCall(pass *Pass, name string, call *ast.CallExpr) {
 		dst := tv.Type.Underlying()
 		src := info.Types[call.Args[0]].Type.Underlying()
 		if stringsSliceConv(dst, src) || stringsSliceConv(src, dst) {
-			pass.Reportf(call.Pos(), "%s is //pomvet:allocfree but converts between string and byte/rune slice (copies)", name)
+			add(call.Pos(), "converts between string and byte/rune slice (copies)")
 		}
 	}
 }

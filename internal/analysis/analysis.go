@@ -2,8 +2,11 @@ package analysis
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
+	"strconv"
 )
 
 // An Analyzer is one determinism check. Run inspects a package through
@@ -26,8 +29,14 @@ type Finding struct {
 	Analyzer string `json:"analyzer"`
 	// Pos locates the finding.
 	Pos token.Position `json:"pos"`
+	// End is the exclusive end of the flagged source range; zero when
+	// the analyzer reported a point position only.
+	End token.Position `json:"end"`
 	// Message describes the violation and the sanctioned idiom.
 	Message string `json:"message"`
+	// Fix, when non-nil, is a mechanical rewrite that resolves the
+	// finding; cmd/pomvet -fix applies it.
+	Fix *Fix `json:"fix,omitempty"`
 }
 
 // String formats the finding the way compilers do, so editors and CI
@@ -37,6 +46,152 @@ func (f Finding) String() string {
 		f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
+// A Program holds the cross-package facts one Run shares between
+// passes: the call graph, lazily computed per-function escape facts,
+// transitive allocation facts, the //pomvet:allocfree annotation set,
+// and each package's parsed directives (so a suppression in a callee's
+// package silences the facts derived from that callee).
+type Program struct {
+	// Pkgs are the packages under analysis.
+	Pkgs []*Package
+	// Graph is the static call graph over every loaded function body.
+	Graph *CallGraph
+
+	fset      *token.FileSet
+	dirs      map[*Package]*directives
+	annotated map[funcID]bool
+	flows     map[funcID]*flowResult
+	escMemo   map[string]*Escape
+	escDone   map[string]bool
+	allocMemo map[funcID]*allocChain
+	allocDone map[funcID]bool
+}
+
+// newProgram builds the shared facts for one Run.
+func newProgram(pkgs []*Package, known map[string]bool) *Program {
+	p := &Program{
+		Pkgs:      pkgs,
+		Graph:     buildCallGraph(pkgs),
+		dirs:      make(map[*Package]*directives),
+		annotated: make(map[funcID]bool),
+		flows:     make(map[funcID]*flowResult),
+		escMemo:   make(map[string]*Escape),
+		escDone:   make(map[string]bool),
+		allocMemo: make(map[funcID]*allocChain),
+		allocDone: make(map[funcID]bool),
+	}
+	if len(pkgs) > 0 {
+		p.fset = pkgs[0].Fset
+	}
+	for _, pkg := range pkgs {
+		p.dirs[pkg] = parseDirectives(pkg, known)
+	}
+	for id, node := range p.Graph.nodes {
+		if isAllocFreeAnnotated(node.Decl) { //pomvet:allow maprange building a set is order-independent
+			p.annotated[id] = true
+		}
+	}
+	return p
+}
+
+// flowFacts returns (computing on first use) the local escape facts of
+// the node's parameters: roots are the reference-carrying parameters,
+// in signature order, with nil holes for basic-typed and unnamed ones.
+func (p *Program) flowFacts(node *FuncNode) *flowResult {
+	if fr, ok := p.flows[node.ID]; ok {
+		return fr
+	}
+	roots := paramObjects(node.Pkg, node.Decl)
+	fr := analyzeFlow(node.Pkg, node.Decl.Type, node.Decl.Body, roots)
+	p.flows[node.ID] = fr
+	return fr
+}
+
+// paramObjects resolves a declaration's parameter objects in signature
+// order. Parameters that cannot carry a reference (basic types) or
+// cannot be referenced (unnamed) are nil.
+func paramObjects(pkg *Package, fn *ast.FuncDecl) []types.Object {
+	return fieldParamObjects(pkg, fn.Type.Params)
+}
+
+// paramEscape decides whether parameter i of the named function
+// escapes, chasing forwarded arguments through the call graph to a
+// fixpoint. Functions without a loaded body never escape here: an
+// interface method or stdlib call re-enters the audited contract.
+func (p *Program) paramEscape(id funcID, i int, seen map[string]bool) *Escape {
+	key := id + "#" + strconv.Itoa(i)
+	if p.escDone[key] {
+		return p.escMemo[key]
+	}
+	if seen[key] {
+		return nil // cycle: assume no escape along the back edge
+	}
+	seen[key] = true
+	node := p.Graph.Node(id)
+	if node == nil {
+		p.escDone[key] = true
+		return nil
+	}
+	fr := p.flowFacts(node)
+	if i >= len(fr.escapes) {
+		p.escDone[key] = true
+		return nil
+	}
+	esc := fr.escapes[i]
+	if esc == nil {
+		for _, d := range fr.deps[i] {
+			sub := p.paramEscape(d.callee, d.param, seen)
+			if sub == nil {
+				continue
+			}
+			esc = &Escape{
+				Kind: EscapeCall,
+				Pos:  d.pos,
+				Detail: fmt.Sprintf("forwarded to %s, whose parameter %s is %s at %s",
+					shortFuncName(d.calleeFn), calleeParamName(d.calleeFn, d.param),
+					sub.Kind, p.fset.Position(sub.Pos)),
+			}
+			break
+		}
+	}
+	p.escMemo[key], p.escDone[key] = esc, true
+	return esc
+}
+
+// shortFuncName renders a function for diagnostics without the full
+// import path noise: pkg.Func or (pkg.Type).Method.
+func shortFuncName(fn *types.Func) string {
+	if fn == nil {
+		return "?"
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// calleeParamName names a callee parameter for diagnostics.
+func calleeParamName(fn *types.Func, i int) string {
+	if fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && i < sig.Params().Len() {
+			if name := sig.Params().At(i).Name(); name != "" {
+				return name
+			}
+		}
+	}
+	return "#" + strconv.Itoa(i)
+}
+
 // A Pass connects one analyzer to one package.
 type Pass struct {
 	// Analyzer is the running analyzer.
@@ -44,16 +199,39 @@ type Pass struct {
 	// Pkg is the package under analysis.
 	Pkg *Package
 
+	prog     *Program
 	findings *[]Finding
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	*p.findings = append(*p.findings, Finding{
+	p.report(pos, token.NoPos, nil, format, args...)
+}
+
+// ReportRangef records a finding spanning [pos, end).
+func (p *Pass) ReportRangef(pos, end token.Pos, format string, args ...any) {
+	p.report(pos, end, nil, format, args...)
+}
+
+// ReportFixf records a finding spanning [pos, end) that carries a
+// suggested fix.
+func (p *Pass) ReportFixf(pos, end token.Pos, fix *SuggestedFix, format string, args ...any) {
+	p.report(pos, end, fix, format, args...)
+}
+
+func (p *Pass) report(pos, end token.Pos, fix *SuggestedFix, format string, args ...any) {
+	f := Finding{
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Pkg.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
-	})
+	}
+	if end.IsValid() {
+		f.End = p.Pkg.Fset.Position(end)
+	}
+	if fix != nil {
+		f.Fix = fix.resolve(p.Pkg.Fset)
+	}
+	*p.findings = append(*p.findings, f)
 }
 
 // Run applies the analyzers to every package, drops findings silenced
@@ -72,12 +250,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	prog := newProgram(pkgs, known)
 	var all []Finding
 	for _, pkg := range pkgs {
-		dirs := parseDirectives(pkg, known)
+		dirs := prog.dirs[pkg]
 		var raw []Finding
 		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, findings: &raw})
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, prog: prog, findings: &raw})
 		}
 		for _, f := range raw {
 			if !dirs.allows(f.Analyzer, f.Pos) {

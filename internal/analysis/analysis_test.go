@@ -20,6 +20,10 @@ func TestFixtures(t *testing.T) {
 		{GlobalRand, "globalrand"},
 		{SyncErr, "syncerr"},
 		{AllocFree, "allocfree"},
+		{AllocFlow, "allocflow"},
+		{SinkRetain, "sinkretain"},
+		{CtxLeak, "ctxleak"},
+		{SyncErr, "fix"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {

@@ -7,7 +7,10 @@ import (
 
 // All returns the repo's analyzers in their canonical order.
 func All() []*Analyzer {
-	return []*Analyzer{MapRange, WallClock, GlobalRand, SyncErr, AllocFree}
+	return []*Analyzer{
+		MapRange, WallClock, GlobalRand, SyncErr,
+		AllocFree, AllocFlow, SinkRetain, CtxLeak,
+	}
 }
 
 // exprString renders an expression for diagnostics.

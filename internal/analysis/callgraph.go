@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// funcID names a function uniquely across every package of one Load:
+// types.Func.FullName() — "repro/internal/stats.PhaseSpread" for
+// package functions, "(*repro/internal/sim.SpreadAccumulator).Sample"
+// for methods. String keys are essential: a package loaded from source
+// and the same package seen through export data produce distinct
+// *types.Func pointers for the same function, but identical FullNames.
+type funcID = string
+
+// A CallSite is one static call recorded in the graph.
+type CallSite struct {
+	// Callee identifies the called function; it may name a function
+	// whose body was not loaded (stdlib, interface method).
+	Callee funcID
+	// CalleeFn is the type-checker's object for the callee.
+	CalleeFn *types.Func
+	// Call is the call expression in the caller's body.
+	Call *ast.CallExpr
+}
+
+// A FuncNode is one function with a loaded body: a declaration in one
+// of the analyzed packages.
+type FuncNode struct {
+	// ID is the node's graph key.
+	ID funcID
+	// Fn is the declared function or method.
+	Fn *types.Func
+	// Decl is the declaration carrying the body.
+	Decl *ast.FuncDecl
+	// Pkg is the package the declaration lives in.
+	Pkg *Package
+	// Calls are the static calls in the body, in source order. Calls
+	// inside nested function literals are excluded: a literal's body
+	// runs when the closure is invoked, not when the enclosing
+	// function does, and the escape/alloc rules account for the
+	// closure itself at its creation site.
+	Calls []CallSite
+}
+
+// A CallGraph indexes every function body loaded in one Run and the
+// static calls between them. Interface dispatch and calls through
+// function values have no body to resolve to and appear only as call
+// sites; the analyzers built on the graph (allocflow, sinkretain)
+// treat such callees as re-entering the audited contract rather than
+// guessing at their behavior.
+type CallGraph struct {
+	nodes map[funcID]*FuncNode
+}
+
+// Node returns the graph node for id, nil when no loaded package
+// declares it.
+func (g *CallGraph) Node(id funcID) *FuncNode { return g.nodes[id] }
+
+// buildCallGraph walks every function declaration of the loaded
+// packages and records its static calls.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{nodes: make(map[funcID]*FuncNode)}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{ID: obj.FullName(), Fn: obj, Decl: fn, Pkg: pkg}
+				collectCalls(pkg.Info, fn.Body, &node.Calls)
+				g.nodes[node.ID] = node
+			}
+		}
+	}
+	return g
+}
+
+// collectCalls appends the static calls under n, skipping nested
+// function literals (see FuncNode.Calls).
+func collectCalls(info *types.Info, n ast.Node, out *[]CallSite) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if fn := callee(info, n); fn != nil {
+				*out = append(*out, CallSite{Callee: fn.FullName(), CalleeFn: fn, Call: n})
+			}
+		}
+		return true
+	})
+}
+
+// enclosingFunc returns the ID of the smallest declared function whose
+// body contains pos in pkg, and its node, or "" when pos is not inside
+// a declared function body.
+func enclosingFunc(pkg *Package, pos token.Pos) (funcID, *ast.FuncDecl) {
+	for _, file := range pkg.Files {
+		if pos < file.Pos() || pos > file.End() {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fn.Body.Pos() <= pos && pos <= fn.Body.End() {
+				if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+					return obj.FullName(), fn
+				}
+			}
+		}
+	}
+	return "", nil
+}

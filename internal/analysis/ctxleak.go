@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxLeak flags goroutines whose loops no cancellation can reach.
+var CtxLeak = &Analyzer{
+	Name: "ctxleak",
+	Doc: `flag goroutines running unbounded loops with no cancellation path
+
+The lease heartbeats, keepalive refreshers, and worker pools that keep
+distributed sweeps alive are long-lived goroutines; one launched
+without a cancellation path outlives its run, keeps ticking against
+the wall clock, and pins its captures forever. An unbounded loop
+(for {} — or for range over a timer channel, which never closes)
+inside a go statement must be exitable on demand: a receive from
+ctx.Done() or a stop channel, a range over a closable work channel, or
+a ctx.Err() check, paired with a return or break. Ticker and timer
+channels do not count — they always deliver and never close. The check
+follows the call graph: go w.loop(ctx) is analyzed through loop's
+body, and a helper's loop three calls down still needs its exit.`,
+	Run: runCtxLeak,
+}
+
+// ctxLeakDepth bounds the call-graph descent from a go statement: a
+// leak more than a few calls deep is better reported when its own
+// package launches it directly.
+const ctxLeakDepth = 4
+
+func runCtxLeak(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if leak := pass.prog.goroutineLeak(pass.Pkg, g.Call, make(map[funcID]bool), ctxLeakDepth); leak != nil {
+				where := ""
+				if leak.via != "" {
+					where = " in " + leak.via
+				}
+				pass.ReportRangef(g.Pos(), g.Call.End(),
+					"goroutine runs an unbounded loop%s (%s) with no cancellation path: add a ctx.Done()/stop-channel case that returns, or range over a closable channel (timer channels never close)",
+					where, pass.Pkg.Fset.Position(leak.pos))
+			}
+			return true
+		})
+	}
+}
+
+// goroutineLeak decides whether launching call as a goroutine leaks:
+// the launched body (a function literal, or a resolved declaration's
+// body followed through the call graph) contains an unbounded loop
+// with no cancellation path.
+type leakInfo struct {
+	pos token.Pos
+	via string // function name holding the loop, "" for the literal itself
+}
+
+func (p *Program) goroutineLeak(pkg *Package, call *ast.CallExpr, seen map[funcID]bool, depth int) *leakInfo {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return p.bodyLeak(pkg, lit.Body, "", seen, depth)
+	}
+	fn := callee(pkg.Info, call)
+	if fn == nil {
+		return nil
+	}
+	return p.funcLeak(fn, seen, depth)
+}
+
+// funcLeak checks a resolved function's body for an unexitable loop.
+func (p *Program) funcLeak(fn *types.Func, seen map[funcID]bool, depth int) *leakInfo {
+	if depth <= 0 {
+		return nil
+	}
+	id := fn.FullName()
+	if seen[id] {
+		return nil
+	}
+	seen[id] = true
+	node := p.Graph.Node(id)
+	if node == nil {
+		return nil // no loaded body (stdlib, interface): nothing to prove
+	}
+	return p.bodyLeak(node.Pkg, node.Decl.Body, shortFuncName(fn), seen, depth)
+}
+
+// bodyLeak scans one body: a leaky loop directly in it wins; otherwise
+// the calls it makes are followed (a goroutine whose whole body is
+// w.run(ctx) leaks iff run does).
+func (p *Program) bodyLeak(pkg *Package, body *ast.BlockStmt, via string, seen map[funcID]bool, depth int) *leakInfo {
+	var leak *leakInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		if leak != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // runs only if called; its go statements are visited separately
+		case *ast.GoStmt:
+			return false // a nested goroutine is its own launch site
+		case *ast.ForStmt:
+			// Only loops that block (receive, select, sleep) are
+			// long-lived in the leak sense; a for {} that always
+			// progresses to a return (a retry scan) is not waiting on
+			// anything cancellation could interrupt.
+			if n.Cond == nil && loopBlocks(pkg, n.Body) && !loopHasCancel(pkg, n.Body) {
+				leak = &leakInfo{pos: n.Pos(), via: via}
+				return false
+			}
+		case *ast.RangeStmt:
+			if isChanRange(pkg, n) && isTimerChan(pkg, n.X) {
+				leak = &leakInfo{pos: n.Pos(), via: via}
+				return false
+			}
+		}
+		return true
+	})
+	if leak != nil {
+		return leak
+	}
+	// Follow the static calls: a helper's loop needs an exit too.
+	var sites []CallSite
+	collectCalls(pkg.Info, body, &sites)
+	for _, cs := range sites {
+		if l := p.funcLeak(cs.CalleeFn, seen, depth-1); l != nil {
+			return l
+		}
+	}
+	return nil
+}
+
+// loopHasCancel reports whether an unbounded loop body contains a
+// cancellation path: a receive from a non-timer channel (ctx.Done(),
+// a stop channel, a closable work channel) or a ctx.Err() check,
+// paired with a statement that exits the loop (return or break).
+// Nested function literals are skipped — a cancellation check inside a
+// callback does not stop this loop.
+func loopHasCancel(pkg *Package, body *ast.BlockStmt) bool {
+	var receive, exit bool
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !isTimerChan(pkg, n.X) {
+				receive = true
+			}
+		case *ast.RangeStmt:
+			if isChanRange(pkg, n) && !isTimerChan(pkg, n.X) {
+				receive = true
+			}
+		case *ast.CallExpr:
+			if isCtxErrCall(pkg, n) {
+				receive = true
+			}
+		case *ast.ReturnStmt:
+			exit = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				exit = true
+			}
+		}
+		return true
+	})
+	return receive && exit
+}
+
+// loopBlocks reports whether the loop body contains a blocking wait: a
+// channel receive (timer or not), a range over a channel, a select, or
+// a time.Sleep call. A loop that never blocks is CPU-bound and
+// terminates or livelocks on its own logic — not a cancellation leak.
+func loopBlocks(pkg *Package, body *ast.BlockStmt) bool {
+	var blocks bool
+	ast.Inspect(body, func(n ast.Node) bool {
+		if blocks {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				blocks = true
+			}
+		case *ast.RangeStmt:
+			if isChanRange(pkg, n) {
+				blocks = true
+			}
+		case *ast.SelectStmt:
+			blocks = true
+		case *ast.CallExpr:
+			if fn := callee(pkg.Info, n); fn != nil &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+				blocks = true
+			}
+		}
+		return true
+	})
+	return blocks
+}
+
+// isChanRange reports whether the range statement iterates a channel.
+func isChanRange(pkg *Package, n *ast.RangeStmt) bool {
+	if tv, ok := pkg.Info.Types[n.X]; ok && tv.Type != nil {
+		_, isChan := tv.Type.Underlying().(*types.Chan)
+		return isChan
+	}
+	return false
+}
+
+// isTimerChan reports whether expr is a channel that always delivers
+// and never closes: time.Ticker.C / time.Timer.C, or the result of
+// time.After / time.Tick. Receiving from one proves liveness, not
+// cancellability.
+func isTimerChan(pkg *Package, expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if e.Sel.Name != "C" {
+			return false
+		}
+		if tv, ok := pkg.Info.Types[e.X]; ok && tv.Type != nil {
+			t := tv.Type
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				obj := named.Obj()
+				return obj.Pkg() != nil && obj.Pkg().Path() == "time" &&
+					(obj.Name() == "Ticker" || obj.Name() == "Timer")
+			}
+		}
+	case *ast.CallExpr:
+		if fn := callee(pkg.Info, e); fn != nil {
+			return fn.Pkg() != nil && fn.Pkg().Path() == "time" &&
+				(fn.Name() == "After" || fn.Name() == "Tick")
+		}
+	}
+	return false
+}
+
+// isCtxErrCall reports whether call is ctx.Err() on a context.Context.
+func isCtxErrCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Err" {
+		return false
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

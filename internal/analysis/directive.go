@@ -144,18 +144,29 @@ func (d *directives) problem(pos token.Position, format string, args ...any) {
 // docRanges maps each declaration doc-comment group to the line span
 // of its declaration, so doc-level allow directives can cover whole
 // functions (the lease and keepalive clocks) instead of single lines.
+// Inside a grouped var/const/type declaration, a spec's own doc
+// comment scopes to that spec alone — the siblings stay guarded.
 func docRanges(fset *token.FileSet, file *ast.File) map[*ast.CommentGroup]*[2]int {
 	out := make(map[*ast.CommentGroup]*[2]int)
+	span := func(doc *ast.CommentGroup, n ast.Node) {
+		if doc != nil {
+			out[doc] = &[2]int{fset.Position(n.Pos()).Line, fset.Position(n.End()).Line}
+		}
+	}
 	for _, decl := range file.Decls {
-		var doc *ast.CommentGroup
 		switch n := decl.(type) {
 		case *ast.FuncDecl:
-			doc = n.Doc
+			span(n.Doc, n)
 		case *ast.GenDecl:
-			doc = n.Doc
-		}
-		if doc != nil {
-			out[doc] = &[2]int{fset.Position(decl.Pos()).Line, fset.Position(decl.End()).Line}
+			span(n.Doc, n)
+			for _, s := range n.Specs {
+				switch s := s.(type) {
+				case *ast.ValueSpec:
+					span(s.Doc, s)
+				case *ast.TypeSpec:
+					span(s.Doc, s)
+				}
+			}
 		}
 	}
 	return out

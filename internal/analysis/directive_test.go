@@ -57,6 +57,20 @@ func TestDirectiveParsing(t *testing.T) {
 	}
 }
 
+// TestDirectiveScopes pins the scoping rules through the scope
+// fixture: doc-level allows cover whole declarations on value and
+// pointer receivers alike, a spec-level doc allow inside a grouped
+// var declaration covers only its spec, and a group-level doc allow
+// covers every spec. The fixture's want comments mark the findings
+// that must survive.
+func TestDirectiveScopes(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/scope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWants(t, pkgs, Run(pkgs, []*Analyzer{WallClock}))
+}
+
 // TestDirectivesValidWhenAnalyzerDisabled pins that disabling an
 // analyzer does not turn its existing suppressions into unknown-name
 // problems: the wallclock fixture's //pomvet:allow wallclock

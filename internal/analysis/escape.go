@@ -1,0 +1,551 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An EscapeKind classifies how a value outlives the function call it
+// was handed to — the lattice the interprocedural analyzers reason in.
+type EscapeKind string
+
+const (
+	// EscapeField: the value was assigned to a struct field reachable
+	// beyond the call (receiver field, pointer target, package var).
+	EscapeField EscapeKind = "assigned to a field"
+	// EscapeStore: the value was stored into a slice or map element,
+	// or through a pointer, that the analysis cannot prove local.
+	EscapeStore EscapeKind = "stored into a retained element"
+	// EscapeAppend: the slice header itself was appended into another
+	// slice (append(dst, y) without spreading the elements).
+	EscapeAppend EscapeKind = "appended into a retained slice"
+	// EscapeChannel: the value was sent on a channel; the receiver
+	// runs after the call returns.
+	EscapeChannel EscapeKind = "sent on a channel"
+	// EscapeReturn: the value (or an alias of its backing array) was
+	// returned to the caller.
+	EscapeReturn EscapeKind = "returned"
+	// EscapeClosure: the value was captured by a closure that itself
+	// escapes (stored, launched as a goroutine, or returned).
+	EscapeClosure EscapeKind = "captured by an escaping closure"
+	// EscapeGoroutine: the value was passed to (or captured by) a
+	// goroutine, which may outlive the call.
+	EscapeGoroutine EscapeKind = "passed to a goroutine"
+	// EscapeCall: the value was forwarded to a callee whose own
+	// parameter escapes — the interprocedural step.
+	EscapeCall EscapeKind = "forwarded to a retaining callee"
+)
+
+// An Escape is one proven route by which a tracked value outlives its
+// call.
+type Escape struct {
+	// Kind is the lattice point.
+	Kind EscapeKind
+	// Pos is the escaping statement or expression.
+	Pos token.Pos
+	// Detail narrates the route, including the interprocedural chain
+	// when Kind is EscapeCall.
+	Detail string
+}
+
+// A flowDep records that a tracked root was forwarded as an argument
+// to a resolvable callee: whether it escapes there is decided by the
+// program-level fixpoint (Program.paramEscape), not locally.
+type flowDep struct {
+	callee   funcID
+	calleeFn *types.Func
+	param    int
+	pos      token.Pos
+}
+
+// flowResult is one function body's local escape facts: per root, the
+// earliest local escape (nil if none) and the calls the root's value
+// was forwarded through.
+type flowResult struct {
+	escapes []*Escape
+	deps    [][]flowDep
+}
+
+// flowWalker tracks value aliases through one function body. The
+// analysis closes over assignments, slicing, and closure captures
+// until a fixpoint: any local that can alias a root's backing array
+// carries the root's mark, and every marked value reaching a
+// non-local store, channel send, return, header append, or escaping
+// closure is an escape. Element reads and writes of basic type (a
+// float out of a row) never carry a mark — copying data out of the
+// buffer is exactly the sanctioned idiom.
+type flowWalker struct {
+	pkg     *Package
+	roots   []types.Object
+	results map[types.Object]bool   // named result variables
+	tracked map[types.Object]uint64 // object -> bitmask of aliased roots
+	lits    map[*ast.FuncLit]uint64 // closure -> bitmask of captured roots
+	res     *flowResult
+	changed bool
+}
+
+// analyzeFlow computes the local escape facts of body for the given
+// root objects (typically reference-typed parameters). ftype supplies
+// the function's result fields so assignments to named results count
+// as returns; it may be nil.
+func analyzeFlow(pkg *Package, ftype *ast.FuncType, body *ast.BlockStmt, roots []types.Object) *flowResult {
+	w := &flowWalker{
+		pkg:     pkg,
+		roots:   roots,
+		results: make(map[types.Object]bool),
+		tracked: make(map[types.Object]uint64),
+		lits:    make(map[*ast.FuncLit]uint64),
+		res: &flowResult{
+			escapes: make([]*Escape, len(roots)),
+			deps:    make([][]flowDep, len(roots)),
+		},
+	}
+	if ftype != nil && ftype.Results != nil {
+		for _, field := range ftype.Results.List {
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					w.results[obj] = true
+				}
+			}
+		}
+	}
+	for i, obj := range roots {
+		if obj != nil {
+			w.tracked[obj] |= 1 << uint(i)
+		}
+	}
+	// Alias chains (z := y; q := z[1:]) and closure captures converge
+	// in a few rounds; bodies are small, so iterate to fixpoint.
+	for {
+		w.changed = false
+		w.walk(body)
+		if !w.changed {
+			break
+		}
+	}
+	return w.res
+}
+
+// mark sets root bits on an object, noting growth for the fixpoint.
+func (w *flowWalker) mark(obj types.Object, mask uint64) {
+	if obj == nil || mask == 0 {
+		return
+	}
+	if w.tracked[obj]&mask != mask {
+		w.tracked[obj] |= mask
+		w.changed = true
+	}
+}
+
+// escape records an escape for every root in mask, keeping the
+// earliest position per root so diagnostics are deterministic.
+func (w *flowWalker) escape(mask uint64, kind EscapeKind, pos token.Pos, detail string) {
+	for i := range w.roots {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if cur := w.res.escapes[i]; cur == nil || pos < cur.Pos {
+			w.res.escapes[i] = &Escape{Kind: kind, Pos: pos, Detail: detail}
+		}
+	}
+}
+
+// dep records a forwarding edge for every root in mask.
+func (w *flowWalker) dep(mask uint64, callee funcID, calleeFn *types.Func, param int, pos token.Pos) {
+	for i := range w.roots {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		dup := false
+		for _, d := range w.res.deps[i] {
+			if d.callee == callee && d.param == param && d.pos == pos {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			w.res.deps[i] = append(w.res.deps[i], flowDep{
+				callee: callee, calleeFn: calleeFn, param: param, pos: pos,
+			})
+		}
+	}
+}
+
+// maskOf reports which roots expr can alias. Sub-slices, conversions
+// between slice types, append results, &y[i], non-basic index reads,
+// and composite literals holding the value all preserve aliasing;
+// basic element reads, string conversions (they copy), and everything
+// else clear it. Function literals carry the mask of their captures.
+func (w *flowWalker) maskOf(expr ast.Expr) uint64 {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if obj := w.objOf(e); obj != nil {
+			return w.tracked[obj]
+		}
+	case *ast.ParenExpr:
+		return w.maskOf(e.X)
+	case *ast.SliceExpr:
+		return w.maskOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if ix, ok := ast.Unparen(e.X).(*ast.IndexExpr); ok {
+				return w.maskOf(ix.X) // &y[i] points into y's backing array
+			}
+			return w.maskOf(e.X)
+		}
+	case *ast.IndexExpr:
+		// y[i]: a basic element (a float out of a row) is a copy; a
+		// reference element (a [][]float64's row) aliases caller data.
+		if t := w.typeOf(e); t != nil && !isBasic(t) {
+			return w.maskOf(e.X)
+		}
+	case *ast.CompositeLit:
+		var m uint64
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			m |= w.maskOf(elt)
+		}
+		return m
+	case *ast.FuncLit:
+		return w.lits[e]
+	case *ast.CallExpr:
+		// append(dst, ...) returns an alias of dst.
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := w.pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(e.Args) > 0 {
+				return w.maskOf(e.Args[0])
+			}
+		}
+		// A conversion keeps the backing array when both sides are
+		// slices (T(y) for a named slice type); string<->[]byte copies.
+		if tv, ok := w.pkg.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			if _, dst := tv.Type.Underlying().(*types.Slice); dst {
+				if at := w.typeOf(e.Args[0]); at != nil {
+					if _, src := at.Underlying().(*types.Slice); src {
+						return w.maskOf(e.Args[0])
+					}
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// objOf resolves an identifier to its object.
+func (w *flowWalker) objOf(id *ast.Ident) types.Object {
+	if obj := w.pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return w.pkg.Info.Defs[id]
+}
+
+// typeOf returns expr's type, or nil.
+func (w *flowWalker) typeOf(expr ast.Expr) types.Type {
+	if tv, ok := w.pkg.Info.Types[expr]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isBasic reports whether t's underlying type is basic — reads of such
+// elements copy the value and cannot retain a buffer.
+func isBasic(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Basic)
+	return ok
+}
+
+// isLocalVar reports whether obj is a variable bound inside the
+// function (parameters and value receivers included — Go rebinds them
+// locally). Such a variable is a carrier: storing an alias in it is
+// not an escape by itself, and it spreads the mark instead.
+func (w *flowWalker) isLocalVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	if v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+		return false // package variable
+	}
+	return true
+}
+
+// walk dispatches one pass over a statement tree.
+func (w *flowWalker) walk(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			w.assign(n.Lhs, n.Rhs)
+		case *ast.ValueSpec:
+			if len(n.Values) > 0 {
+				lhs := make([]ast.Expr, len(n.Names))
+				for i, name := range n.Names {
+					lhs[i] = name
+				}
+				w.assign(lhs, n.Values)
+			}
+		case *ast.RangeStmt:
+			// for _, v := range rows: v aliases an element; only
+			// reference elements carry the mark.
+			if m := w.maskOf(n.X); m != 0 && n.Value != nil {
+				if t := w.typeOf(n.Value); t != nil && !isBasic(t) {
+					if id, ok := n.Value.(*ast.Ident); ok {
+						w.mark(w.objOf(id), m)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if m := w.maskOf(n.Value); m != 0 {
+				w.escape(m, EscapeChannel, n.Pos(), "")
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if m := w.maskOf(res); m != 0 {
+					w.escape(m, EscapeReturn, res.Pos(), "")
+				}
+			}
+		case *ast.GoStmt:
+			w.goStmt(n)
+		case *ast.CallExpr:
+			w.call(n)
+		case *ast.FuncLit:
+			w.funcLit(n)
+			return false // funcLit walks the body itself
+		}
+		return true
+	})
+}
+
+// assign handles one (possibly parallel) assignment.
+func (w *flowWalker) assign(lhs, rhs []ast.Expr) {
+	for i, r := range rhs {
+		m := w.maskOf(r)
+		if m == 0 || i >= len(lhs) {
+			continue
+		}
+		_, viaClosure := ast.Unparen(r).(*ast.FuncLit)
+		w.store(lhs[i], m, viaClosure, r.Pos())
+	}
+}
+
+// store routes a marked value into an lvalue.
+func (w *flowWalker) store(dst ast.Expr, mask uint64, viaClosure bool, pos token.Pos) {
+	kind := func(k EscapeKind) EscapeKind {
+		if viaClosure {
+			return EscapeClosure
+		}
+		return k
+	}
+	switch d := ast.Unparen(dst).(type) {
+	case *ast.Ident:
+		if d.Name == "_" {
+			return
+		}
+		obj := w.objOf(d)
+		if obj == nil {
+			return
+		}
+		if w.results[obj] {
+			w.escape(mask, kind(EscapeReturn), pos, "assigned to named result "+d.Name)
+			return
+		}
+		if w.isLocalVar(obj) {
+			w.mark(obj, mask)
+			return
+		}
+		w.escape(mask, kind(EscapeField), pos, "assigned to package variable "+d.Name)
+	case *ast.SelectorExpr:
+		// s.f = y: if the selector chain is rooted at a local struct
+		// *value*, the local becomes the carrier; a pointer, map, or
+		// receiver-field target is reachable after the call returns.
+		if w.localValueChain(d) {
+			w.mark(w.objOf(chainRoot(d)), mask)
+			return
+		}
+		w.escape(mask, kind(EscapeField), pos, "assigned to "+exprString(d))
+	case *ast.IndexExpr:
+		if w.localValueChain(d) {
+			w.mark(w.objOf(chainRoot(d)), mask)
+			return
+		}
+		w.escape(mask, kind(EscapeStore), pos, "stored into "+exprString(d))
+	case *ast.StarExpr:
+		w.escape(mask, kind(EscapeStore), pos, "stored through pointer "+exprString(d))
+	}
+}
+
+// localValueChain reports whether the selector/index chain is rooted
+// at a local variable through value types only (no pointer, map, or
+// slice hop) — a store through such a chain stays in the frame, and
+// the root local becomes the mark carrier.
+func (w *flowWalker) localValueChain(e ast.Expr) bool {
+	root := chainRoot(e)
+	if root == nil {
+		return false
+	}
+	obj := w.objOf(root)
+	if obj == nil || !w.isLocalVar(obj) || w.results[obj] {
+		return false
+	}
+	// Every hop from the root up to (but excluding) the full lvalue
+	// must be a value type: x.f[i].g is local iff x, x.f, x.f[i] are
+	// all non-reference values rooted at a local.
+	for cur := ast.Unparen(e); ; {
+		var inner ast.Expr
+		switch x := cur.(type) {
+		case *ast.SelectorExpr:
+			inner = x.X
+		case *ast.IndexExpr:
+			inner = x.X
+		case *ast.Ident:
+			return true
+		default:
+			return false
+		}
+		inner = ast.Unparen(inner)
+		if t := w.typeOf(inner); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Pointer, *types.Map, *types.Slice, *types.Interface:
+				return false
+			}
+		} else {
+			return false
+		}
+		cur = inner
+	}
+}
+
+// chainRoot returns the identifier at the base of a selector/index
+// chain (a in a.b[i].c), or nil.
+func chainRoot(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// call handles append/copy specially, then records forwarding deps for
+// marked arguments of resolvable calls. Unresolvable callees —
+// interface methods, function values — are the audited contract
+// re-entering itself (a Tee fanning rows out to more sinks) and do not
+// escape here; their concrete implementations are analyzed at their
+// own declarations.
+func (w *flowWalker) call(call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := w.pkg.Info.Uses[id].(*types.Builtin); ok {
+			w.builtinCall(b, call)
+			return
+		}
+	}
+	fn := callee(w.pkg.Info, call)
+	for i, arg := range call.Args {
+		m := w.maskOf(arg)
+		if m == 0 || fn == nil {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Params().Len() == 0 {
+			continue
+		}
+		p := i
+		if sig.Variadic() && p >= sig.Params().Len()-1 {
+			p = sig.Params().Len() - 1
+		}
+		if p >= sig.Params().Len() {
+			continue
+		}
+		w.dep(m, fn.FullName(), fn, p, arg.Pos())
+	}
+}
+
+// builtinCall handles append and copy.
+func (w *flowWalker) builtinCall(b *types.Builtin, call *ast.CallExpr) {
+	switch b.Name() {
+	case "append":
+		for i, arg := range call.Args[1:] {
+			m := w.maskOf(arg)
+			if m == 0 {
+				continue
+			}
+			if call.Ellipsis.IsValid() && i == len(call.Args)-2 {
+				// append(dst, y...) copies y's elements; that retains
+				// nothing when the elements are basic values.
+				if t := w.typeOf(arg); t != nil {
+					if s, ok := t.Underlying().(*types.Slice); ok && isBasic(s.Elem()) {
+						continue
+					}
+				}
+			}
+			w.escape(m, EscapeAppend, arg.Pos(), "")
+		}
+	case "copy":
+		if len(call.Args) == 2 {
+			// copy(dst, y) copies elements: harmless for basic element
+			// types, retention when the elements are themselves
+			// references (copying [][]float64 copies row headers).
+			if m := w.maskOf(call.Args[1]); m != 0 {
+				if t := w.typeOf(call.Args[1]); t != nil {
+					if s, ok := t.Underlying().(*types.Slice); ok && !isBasic(s.Elem()) {
+						w.escape(m, EscapeStore, call.Args[1].Pos(),
+							"reference elements copied into "+exprString(call.Args[0]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// goStmt marks goroutine-launched values: arguments and closure
+// captures outlive the call by construction.
+func (w *flowWalker) goStmt(g *ast.GoStmt) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		if m := w.lits[lit]; m != 0 {
+			w.escape(m, EscapeGoroutine, g.Pos(), "captured by the goroutine's closure")
+		}
+	}
+	for _, arg := range g.Call.Args {
+		if m := w.maskOf(arg); m != 0 {
+			w.escape(m, EscapeGoroutine, arg.Pos(), "")
+		}
+	}
+}
+
+// funcLit accumulates the closure's captured roots and walks its body:
+// a field store or channel send inside the closure escapes the capture
+// just as it would in the enclosing body, but a plain return only
+// leaves the closure, so EscapeReturns recorded strictly inside the
+// literal are rolled back.
+func (w *flowWalker) funcLit(lit *ast.FuncLit) {
+	var captured uint64
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := w.pkg.Info.Uses[id]; obj != nil {
+				captured |= w.tracked[obj]
+			}
+		}
+		return true
+	})
+	if w.lits[lit]&captured != captured {
+		w.lits[lit] |= captured
+		w.changed = true
+	}
+	saved := append([]*Escape(nil), w.res.escapes...)
+	w.walk(lit.Body)
+	for i, esc := range w.res.escapes {
+		if esc != nil && esc.Kind == EscapeReturn &&
+			lit.Body.Pos() <= esc.Pos && esc.Pos <= lit.Body.End() {
+			w.res.escapes[i] = saved[i]
+		}
+	}
+}

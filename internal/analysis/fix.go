@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// A TextEdit replaces the source range [Pos, End) with NewText. Edits
+// are expressed in token positions at report time and resolved to file
+// offsets when the finding is recorded.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
+}
+
+// A SuggestedFix is a mechanical rewrite that resolves a finding,
+// attached by the analyzer at report time.
+type SuggestedFix struct {
+	// Message says what the fix does, imperatively ("make the error
+	// drop explicit with _ =").
+	Message string
+	// Edits are the replacements; they must not overlap.
+	Edits []TextEdit
+}
+
+// resolve converts the fix to file coordinates for serialization and
+// application.
+func (sf *SuggestedFix) resolve(fset *token.FileSet) *Fix {
+	fix := &Fix{Message: sf.Message}
+	for _, e := range sf.Edits {
+		fix.Edits = append(fix.Edits, FixEdit{
+			File:    fset.Position(e.Pos).Filename,
+			Start:   fset.Position(e.Pos),
+			End:     fset.Position(e.End),
+			NewText: e.NewText,
+		})
+	}
+	return fix
+}
+
+// A Fix is a suggested rewrite in resolved file coordinates — the form
+// findings carry in JSON output and the form ApplyFixes consumes.
+type Fix struct {
+	// Message says what the fix does.
+	Message string `json:"message"`
+	// Edits are the text replacements.
+	Edits []FixEdit `json:"edits"`
+}
+
+// A FixEdit is one text replacement: the bytes at [Start.Offset,
+// End.Offset) of File become NewText.
+type FixEdit struct {
+	File    string         `json:"file"`
+	Start   token.Position `json:"start"`
+	End     token.Position `json:"end"`
+	NewText string         `json:"newText"`
+}
+
+// ApplyFixes collects every fix carried by the findings and computes
+// the fixed content of each affected file, reading current content
+// from disk. Overlapping edits are an error (no analyzer should
+// produce them; refusing beats corrupting source). The returned map
+// holds only files whose content actually changes.
+//
+// Applying is idempotent by construction: a fixed file no longer
+// produces the finding, so a second run proposes no edits.
+func ApplyFixes(findings []Finding) (map[string][]byte, error) {
+	byFile := make(map[string][]FixEdit)
+	for _, f := range findings {
+		if f.Fix == nil {
+			continue
+		}
+		for _, e := range f.Fix.Edits {
+			byFile[e.File] = append(byFile[e.File], e)
+		}
+	}
+	files := make([]string, 0, len(byFile))
+	for file := range byFile {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	fixed := make(map[string][]byte)
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: applying fixes: %v", err)
+		}
+		out, err := applyEdits(file, src, byFile[file])
+		if err != nil {
+			return nil, err
+		}
+		if string(out) != string(src) {
+			fixed[file] = out
+		}
+	}
+	return fixed, nil
+}
+
+// WriteFixes writes fixed file contents back to disk.
+func WriteFixes(fixed map[string][]byte) error {
+	files := make([]string, 0, len(fixed))
+	for f := range fixed {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		if err := os.WriteFile(f, fixed[f], 0o644); err != nil {
+			return fmt.Errorf("analysis: writing fixes: %v", err)
+		}
+	}
+	return nil
+}
+
+// applyEdits splices the edits into src, back to front.
+func applyEdits(file string, src []byte, edits []FixEdit) ([]byte, error) {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].Start.Offset != edits[j].Start.Offset {
+			return edits[i].Start.Offset < edits[j].Start.Offset
+		}
+		return edits[i].End.Offset < edits[j].End.Offset
+	})
+	// Drop exact duplicates (two findings can legitimately suggest the
+	// same edit), then refuse real overlaps.
+	uniq := edits[:0]
+	for i, e := range edits {
+		if i > 0 {
+			prev := uniq[len(uniq)-1]
+			if e == prev {
+				continue
+			}
+			if e.Start.Offset < prev.End.Offset {
+				return nil, fmt.Errorf("analysis: overlapping fixes in %s at offsets %d and %d",
+					file, prev.Start.Offset, e.Start.Offset)
+			}
+		}
+		uniq = append(uniq, e)
+	}
+	for i := len(uniq) - 1; i >= 0; i-- {
+		e := uniq[i]
+		if e.Start.Offset < 0 || e.End.Offset > len(src) || e.Start.Offset > e.End.Offset {
+			return nil, fmt.Errorf("analysis: fix edit out of range in %s (%d..%d of %d bytes)",
+				file, e.Start.Offset, e.End.Offset, len(src))
+		}
+		src = append(src[:e.Start.Offset], append([]byte(e.NewText), src[e.End.Offset:]...)...)
+	}
+	return src, nil
+}

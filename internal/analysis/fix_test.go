@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadFixFixture loads the fix fixture package and returns its syncerr
+// findings.
+func loadFixFixture(t *testing.T, dir string, patterns ...string) []Finding {
+	t.Helper()
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run(pkgs, []*Analyzer{SyncErr})
+}
+
+// TestFixGolden applies the suggested fixes of the fix fixture and
+// compares the result byte-for-byte against fix.go.golden.
+func TestFixGolden(t *testing.T) {
+	findings := loadFixFixture(t, ".", "./testdata/src/fix")
+	if len(findings) == 0 {
+		t.Fatal("fix fixture produced no findings")
+	}
+	fixed, err := ApplyFixes(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != 1 {
+		t.Fatalf("fixes touch %d files, want 1", len(fixed))
+	}
+	for path, out := range fixed {
+		golden, err := os.ReadFile(path + ".golden")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, golden) {
+			t.Errorf("fixed %s does not match golden:\n--- fixed ---\n%s\n--- golden ---\n%s",
+				path, out, golden)
+		}
+	}
+}
+
+// TestFixIdempotent re-analyzes the golden (already fixed) source in a
+// throwaway module: the unfixable go statement may still be reported,
+// but no finding may carry a fix — a second -fix run must be a no-op.
+func TestFixIdempotent(t *testing.T) {
+	golden, err := os.ReadFile("testdata/src/fix/fix.go.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixtest\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), golden, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings := loadFixFixture(t, dir, "./...")
+	for _, f := range findings {
+		if f.Fix != nil {
+			t.Errorf("fixed source still proposes a fix: %s", f)
+		}
+	}
+	fixed, err := ApplyFixes(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != 0 {
+		t.Errorf("second fix pass would rewrite %d file(s), want 0", len(fixed))
+	}
+}
+
+// TestFixOverlapRefused pins the safety property: overlapping edits
+// are an error, not a corrupted splice.
+func TestFixOverlapRefused(t *testing.T) {
+	src := []byte("hello world")
+	_, err := applyEdits("x.go", src, []FixEdit{
+		{File: "x.go", Start: offset(0), End: offset(5), NewText: "a"},
+		{File: "x.go", Start: offset(3), End: offset(8), NewText: "b"},
+	})
+	if err == nil {
+		t.Fatal("overlapping edits accepted")
+	}
+}
+
+// TestFixDuplicateEditsCollapse pins dedup: two findings suggesting
+// the identical edit apply it once.
+func TestFixDuplicateEditsCollapse(t *testing.T) {
+	src := []byte("f()")
+	out, err := applyEdits("x.go", src, []FixEdit{
+		{File: "x.go", Start: offset(0), End: offset(0), NewText: "_ = "},
+		{File: "x.go", Start: offset(0), End: offset(0), NewText: "_ = "},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(out); got != "_ = f()" {
+		t.Errorf("got %q, want %q", got, "_ = f()")
+	}
+}
+
+// offset builds a token.Position carrying only the byte offset, which
+// is all applyEdits consumes.
+func offset(n int) (p token.Position) {
+	p.Offset = n
+	return p
+}

@@ -71,7 +71,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 
 	exports := make(map[string]string) // import path -> export data file
-	var targets []listedPkg
+	var listed, targets []listedPkg
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listedPkg
@@ -80,6 +80,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		} else if err != nil {
 			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
 		}
+		listed = append(listed, p)
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
@@ -87,12 +88,17 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			targets = append(targets, p)
 		}
 	}
+	if missing := missingExports(listed); len(missing) > 0 {
+		return nil, fmt.Errorf(
+			"analysis: go list produced no export data for %s — the tree probably does not compile; run `go build ./...` first and fix what it reports",
+			strings.Join(missing, ", "))
+	}
 
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		exp, ok := exports[path]
 		if !ok {
-			return nil, fmt.Errorf("analysis: no export data for %q", path)
+			return nil, fmt.Errorf("analysis: no export data for %q — run `go build ./...` first", path)
 		}
 		return os.Open(exp)
 	})
@@ -106,6 +112,27 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// missingExports returns the import paths of dependency packages that
+// should have export data but do not. Target packages are type-checked
+// from source and need none of their own; "unsafe" never has export
+// data by design. A non-empty result means `go list -export` could not
+// (or did not) compile a dependency — the caller turns that into a
+// "run go build first" error instead of failing later with an opaque
+// importer lookup.
+func missingExports(listed []listedPkg) []string {
+	var missing []string
+	for _, p := range listed {
+		if p.Export != "" || p.ImportPath == "unsafe" {
+			continue
+		}
+		if !p.DepOnly && !p.Standard {
+			continue // target: checked from source
+		}
+		missing = append(missing, p.ImportPath)
+	}
+	return missing
 }
 
 // check parses and type-checks one listed package.

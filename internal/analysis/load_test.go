@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMissingExports pins the pre-flight classification: dependencies
+// without export data are reported, targets (checked from source) and
+// unsafe (never has export data) are not.
+func TestMissingExports(t *testing.T) {
+	listed := []listedPkg{
+		{ImportPath: "repro/internal/sim", Dir: "x"},                      // target, no export: fine
+		{ImportPath: "unsafe", Standard: true, DepOnly: true},             // never has export data
+		{ImportPath: "fmt", Standard: true, DepOnly: true, Export: "f.a"}, // healthy dep
+		{ImportPath: "repro/internal/core", DepOnly: true},                // broken dep
+		{ImportPath: "errors", Standard: true, DepOnly: true},             // broken stdlib dep
+	}
+	got := missingExports(listed)
+	want := []string{"repro/internal/core", "errors"}
+	if len(got) != len(want) {
+		t.Fatalf("missingExports = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("missingExports = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestLoadBrokenTree pins the degradation path end to end: loading a
+// module that does not compile fails with an error that carries the
+// compiler's message instead of an opaque importer failure.
+func TestLoadBrokenTree(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module broken\n\ngo 1.24\n")
+	write("dep/dep.go", "package dep\n\nfunc F() int { return \"not an int\" }\n")
+	write("top/top.go", "package top\n\nimport \"broken/dep\"\n\nvar _ = dep.F()\n")
+
+	_, err := Load(dir, "./top")
+	if err == nil {
+		t.Fatal("Load succeeded on a tree that does not compile")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "dep") {
+		t.Errorf("error does not name the broken package:\n%s", msg)
+	}
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SinkRetain flags sink implementations that retain their reused row
+// or params buffers.
+var SinkRetain = &Analyzer{
+	Name: "sinkretain",
+	Doc: `flag Sink/SampleFunc implementations that retain their reused row buffer
+
+The whole streaming stack hands sample rows and param slices to
+Sink.Sample, Push, and SampleFunc callbacks from reused buffers: the
+slice is valid only for the duration of the call, and retaining the
+header aliases memory the solver overwrites on the next step — the
+corruption is silent and the bitwise-determinism pins cannot see it.
+The analyzer runs the escape lattice over every method named Sample or
+Push with a slice parameter and every function wired into a SampleFunc
+field: a slice that is assigned to a field, stored into a retained
+element, appended as a header, sent on a channel, captured by an
+escaping closure, returned, or forwarded to a callee that does any of
+those, is a finding. Copy the data out (copy, or append of elements)
+instead of keeping the header, or annotate a sanctioned retention with
+//pomvet:allow sinkretain <reason>.`,
+	Run: runSinkRetain,
+}
+
+// sinkMethodNames are the method names bound by the buffer-reuse
+// contract, whatever the receiver.
+var sinkMethodNames = map[string]bool{
+	"Sample": true,
+	"Push":   true,
+}
+
+// sinkFieldNames are the struct fields whose function values receive
+// reused rows (ode.SolveOptions.SampleFunc and friends).
+var sinkFieldNames = map[string]bool{
+	"SampleFunc": true,
+}
+
+func runSinkRetain(pass *Pass) {
+	// Contract methods: every Sample/Push declaration with at least
+	// one slice parameter.
+	checked := make(map[*ast.FuncDecl]bool)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || !sinkMethodNames[fn.Name.Name] {
+				continue
+			}
+			checked[fn] = true
+			pass.checkSinkDecl(fn)
+		}
+	}
+	// SampleFunc wiring: function literals (and references to declared
+	// functions) assigned into a SampleFunc field or composite-literal
+	// key.
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					if sel, ok := lhs.(*ast.SelectorExpr); ok && sinkFieldNames[sel.Sel.Name] {
+						pass.checkSinkValue(n.Rhs[i], checked)
+					}
+				}
+			case *ast.KeyValueExpr:
+				if key, ok := n.Key.(*ast.Ident); ok && sinkFieldNames[key.Name] {
+					pass.checkSinkValue(n.Value, checked)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkSinkValue analyzes the function wired into a SampleFunc slot: a
+// literal in place, or a declaration in this package referenced by
+// name.
+func (pass *Pass) checkSinkValue(expr ast.Expr, checked map[*ast.FuncDecl]bool) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.FuncLit:
+		roots := fieldParamObjects(pass.Pkg, e.Type.Params)
+		fr := analyzeFlow(pass.Pkg, e.Type, e.Body, roots)
+		pass.reportRetention("SampleFunc", fr, roots)
+		pass.reportForwarded("SampleFunc", fr, roots)
+	case *ast.Ident, *ast.SelectorExpr:
+		fn := identFunc(pass.Pkg.Info, e)
+		if fn == nil {
+			return
+		}
+		node := pass.prog.Graph.Node(fn.FullName())
+		if node == nil || node.Pkg != pass.Pkg || checked[node.Decl] {
+			return
+		}
+		checked[node.Decl] = true
+		pass.checkSinkDecl(node.Decl)
+	}
+}
+
+// identFunc resolves a plain or selector function reference.
+func identFunc(info *types.Info, e ast.Expr) *types.Func {
+	switch e := e.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// checkSinkDecl runs the escape analysis over one contract method or
+// function and reports every slice parameter that escapes.
+func (pass *Pass) checkSinkDecl(fn *ast.FuncDecl) {
+	obj, ok := pass.Pkg.Info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	node := pass.prog.Graph.Node(obj.FullName())
+	if node == nil {
+		return
+	}
+	roots := paramObjects(pass.Pkg, fn)
+	fr := pass.prog.flowFacts(node)
+	pass.reportRetention(shortFuncName(obj), fr, roots)
+	// Interprocedural step for the deps the local facts left open.
+	pass.reportForwarded(shortFuncName(obj), fr, roots)
+}
+
+// reportRetention reports local escapes of slice roots.
+func (pass *Pass) reportRetention(name string, fr *flowResult, roots []types.Object) {
+	for i, esc := range fr.escapes {
+		if esc == nil || i >= len(roots) || roots[i] == nil || !isSliceObj(roots[i]) {
+			continue
+		}
+		detail := ""
+		if esc.Detail != "" {
+			detail = " (" + esc.Detail + ")"
+		}
+		pass.ReportRangef(esc.Pos, esc.Pos,
+			"%s retains its reused buffer %s: %s%s — rows and params are overwritten after the call; copy the elements out, or annotate a sanctioned retention with //pomvet:allow sinkretain <reason>",
+			name, roots[i].Name(), esc.Kind, detail)
+	}
+}
+
+// reportForwarded resolves the open forwarding deps through the
+// program fixpoint and reports the ones that retain.
+func (pass *Pass) reportForwarded(name string, fr *flowResult, roots []types.Object) {
+	for i, deps := range fr.deps {
+		if fr.escapes[i] != nil || i >= len(roots) || roots[i] == nil || !isSliceObj(roots[i]) {
+			continue
+		}
+		for _, d := range deps {
+			sub := pass.prog.paramEscape(d.callee, d.param, make(map[string]bool))
+			if sub == nil {
+				continue
+			}
+			pass.ReportRangef(d.pos, d.pos,
+				"%s retains its reused buffer %s: forwarded to %s, whose parameter %s is %s at %s — copy the elements out, or annotate a sanctioned retention with //pomvet:allow sinkretain <reason>",
+				name, roots[i].Name(), shortFuncName(d.calleeFn),
+				calleeParamName(d.calleeFn, d.param), sub.Kind,
+				pass.Pkg.Fset.Position(sub.Pos))
+			break // one finding per root
+		}
+	}
+}
+
+// fieldParamObjects resolves a parameter list's objects, mirroring
+// paramObjects for function literals.
+func fieldParamObjects(pkg *Package, params *ast.FieldList) []types.Object {
+	var roots []types.Object
+	if params == nil {
+		return roots
+	}
+	for _, field := range params.List {
+		if len(field.Names) == 0 {
+			roots = append(roots, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			obj := pkg.Info.Defs[name]
+			if obj != nil && isBasic(obj.Type()) {
+				obj = nil
+			}
+			roots = append(roots, obj)
+		}
+	}
+	return roots
+}
+
+// isSliceObj reports whether the object's type is a slice.
+func isSliceObj(obj types.Object) bool {
+	_, ok := obj.Type().Underlying().(*types.Slice)
+	return ok
+}

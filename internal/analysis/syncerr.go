@@ -60,19 +60,46 @@ func runSyncErr(pass *Pass) {
 				return true
 			}
 			sig := fn.Type().(*types.Signature)
+			fix := syncErrFix(n, call)
 			switch {
 			case sig.Recv() != nil && syncErrMethods[fn.Name()]:
-				pass.Reportf(call.Pos(),
+				pass.ReportFixf(call.Pos(), call.End(), fix,
 					"error from %s %s; a dropped %s error is a hole in the durability protocol — check it or assign it to _ explicitly",
 					fn.Name(), how, fn.Name())
 			case sig.Recv() == nil && fn.Pkg() != nil && fn.Pkg().Path() == "os" && syncErrOSFuncs[fn.Name()]:
-				pass.Reportf(call.Pos(),
+				pass.ReportFixf(call.Pos(), call.End(), fix,
 					"error from os.%s %s; check it or assign it to _ explicitly",
 					fn.Name(), how)
 			}
 			return true
 		})
 	}
+}
+
+// syncErrFix builds the mechanical rewrite that makes the error drop
+// explicit: a bare statement gains "_ = "; a deferred call is wrapped
+// in a closure that discards the error visibly. A go statement has no
+// one-line rewrite (the caller must decide where the error goes), so
+// it gets no fix.
+func syncErrFix(stmt ast.Node, call *ast.CallExpr) *SuggestedFix {
+	switch stmt.(type) {
+	case *ast.ExprStmt:
+		return &SuggestedFix{
+			Message: "make the error drop explicit with _ =",
+			Edits: []TextEdit{
+				{Pos: call.Pos(), End: call.Pos(), NewText: "_ = "},
+			},
+		}
+	case *ast.DeferStmt:
+		return &SuggestedFix{
+			Message: "wrap the deferred call so the error drop is explicit",
+			Edits: []TextEdit{
+				{Pos: call.Pos(), End: call.Pos(), NewText: "func() { _ = "},
+				{Pos: call.End(), End: call.End(), NewText: " }()"},
+			},
+		}
+	}
+	return nil
 }
 
 // callee resolves a call expression to the called named function or

@@ -1,0 +1,83 @@
+// Package allocflow is the golden fixture for the allocflow analyzer:
+// a //pomvet:allocfree function calling an unannotated helper is
+// analyzed through the helper's body (and its callees); an allocating
+// construct anywhere down the chain is reported at the annotated call
+// site. Annotated callees are audited at their own declarations and
+// cut the chain; allow directives in the callee's package sanction a
+// site for every caller.
+package allocflow
+
+// hot calls an unannotated helper that allocates directly.
+//
+//pomvet:allocfree
+func hot(xs []float64) float64 {
+	return total(xs) // want `hot is //pomvet:allocfree but calls allocflow.total, which can allocate: calls make`
+}
+
+func total(xs []float64) float64 {
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	var s float64
+	for _, v := range tmp {
+		s += v
+	}
+	return s
+}
+
+// hot2 reaches the allocation two calls down.
+//
+//pomvet:allocfree
+func hot2(xs []float64) float64 {
+	return outer(xs) // want `hot2 is //pomvet:allocfree but calls allocflow.outer → allocflow.inner, which can allocate: calls append \(growth allocates\) in allocflow.inner`
+}
+
+func outer(xs []float64) float64 {
+	return inner(xs)
+}
+
+func inner(xs []float64) float64 {
+	var ys []float64
+	ys = append(ys, xs...)
+	return float64(len(ys))
+}
+
+// clean calls only annotated and alloc-free helpers; no finding.
+//
+//pomvet:allocfree
+func clean(xs []float64) float64 {
+	return dot(xs, xs) + scale(xs)
+}
+
+// dot is annotated: audited at its own declaration, chain cut here.
+//
+//pomvet:allocfree
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// scale is unannotated but genuinely alloc-free: followed and clean.
+func scale(xs []float64) float64 {
+	var s float64
+	for i := range xs {
+		s += 2 * xs[i]
+	}
+	return s
+}
+
+// warm calls a helper whose allocation carries a reasoned allow in its
+// own package: sanctioned for every caller.
+//
+//pomvet:allocfree
+func warm(xs []float64) float64 {
+	return pooled(xs)
+}
+
+func pooled(xs []float64) float64 {
+	buf := make([]float64, len(xs)) //pomvet:allow allocflow pool warm-up, amortized across calls
+	copy(buf, xs)
+	return buf[0]
+}

@@ -1,0 +1,130 @@
+// Package ctxleak is the golden fixture for the ctxleak analyzer: a
+// goroutine running an unbounded blocking loop must have a
+// cancellation path — a non-timer receive or ctx.Err() check paired
+// with an exit. Timer channels always deliver and never close, so
+// they prove liveness, not cancellability.
+package ctxleak
+
+import (
+	"context"
+	"time"
+)
+
+func beat()             {}
+func use(int)           {}
+func tryClaim(int) bool { return false }
+func prepare()          {}
+
+// leakyHeartbeat is the seeded leaked heartbeat: the ticker loop has
+// no way out.
+func leakyHeartbeat() {
+	t := time.NewTicker(time.Second)
+	go func() { // want `goroutine runs an unbounded loop \(.*\) with no cancellation path`
+		for {
+			<-t.C
+			beat()
+		}
+	}()
+}
+
+// goodHeartbeat pairs the tick with a ctx.Done() case that returns.
+func goodHeartbeat(ctx context.Context) {
+	t := time.NewTicker(time.Second)
+	go func() {
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				beat()
+			}
+		}
+	}()
+}
+
+// tickForever ranges a timer channel, which never closes.
+func tickForever() {
+	go func() { // want `goroutine runs an unbounded loop \(.*\) with no cancellation path`
+		for range time.Tick(time.Second) {
+			beat()
+		}
+	}()
+}
+
+// drainJobs ranges a closable work channel: close(jobs) ends it.
+func drainJobs(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			use(j)
+		}
+	}()
+}
+
+// claimLoop spins a retry scan that always progresses to a return —
+// it never blocks, so cancellation has nothing to interrupt.
+func claimLoop() {
+	go func() {
+		for id := 0; ; id++ {
+			if tryClaim(id) {
+				return
+			}
+		}
+	}()
+}
+
+// Worker's loops are reached through the call graph.
+type Worker struct {
+	stop chan struct{}
+}
+
+// loop is cancellable: the ctx.Done() case returns.
+func (w *Worker) loop(ctx context.Context) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			beat()
+		}
+	}
+}
+
+// watch is cancellable through its stop channel.
+func (w *Worker) watch() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			beat()
+		}
+	}
+}
+
+// spin sleeps forever with no exit.
+func (w *Worker) spin() {
+	for {
+		time.Sleep(time.Second)
+		beat()
+	}
+}
+
+// run buries the leaky loop one call deeper.
+func (w *Worker) run() {
+	prepare()
+	w.spin()
+}
+
+// launch exercises the call-graph descent: loop and watch are clean,
+// spin leaks directly, run leaks through spin.
+func launch(ctx context.Context, w *Worker) {
+	go w.loop(ctx)
+	go w.watch()
+	go w.spin() // want `goroutine runs an unbounded loop in Worker.spin \(.*\) with no cancellation path`
+	go w.run()  // want `goroutine runs an unbounded loop in Worker.spin \(.*\) with no cancellation path`
+}

@@ -1,0 +1,24 @@
+// Package fix is the golden fixture for the -fix engine: each syncerr
+// finding below carries a suggested rewrite, and fix.go.golden is the
+// byte-exact result of applying them. The go statement has no
+// mechanical rewrite and must survive unfixed.
+package fix
+
+import "os"
+
+func flush(f *os.File) {
+	f.Sync()  // want `error from Sync discarded`
+	f.Close() // want `error from Close discarded`
+}
+
+func closeLater(f *os.File) {
+	defer f.Close() // want `error from Close discarded by defer`
+}
+
+func closeAsync(f *os.File) {
+	go f.Close() // want `error from Close discarded by go`
+}
+
+func move(a, b string) {
+	os.Rename(a, b) // want `error from os.Rename discarded`
+}

@@ -1,0 +1,51 @@
+// Package scope is the golden fixture for directive scoping: a
+// doc-comment allow covers its whole declaration whether the receiver
+// is a value or a pointer, and inside a grouped var declaration a
+// spec-level doc allow covers that spec alone.
+package scope
+
+import "time"
+
+// Stamper exercises receiver forms.
+type Stamper struct {
+	at time.Time
+}
+
+// Mark is doc-allowed on a pointer receiver: the whole body is
+// covered.
+//
+//pomvet:allow wallclock scope fixture, deliberate clock read
+func (s *Stamper) Mark() {
+	s.at = time.Now()
+	s.at = s.at.Add(time.Since(s.at))
+}
+
+// Snapshot is doc-allowed on a value receiver: same coverage.
+//
+//pomvet:allow wallclock scope fixture, deliberate clock read
+func (s Stamper) Snapshot() time.Time {
+	return time.Now()
+}
+
+// Bare has no allow; its clock read must still be reported.
+func (s *Stamper) Bare() {
+	s.at = time.Now() // want `time.Now reads the wall clock`
+}
+
+var (
+	// started is captured once at process start, deliberately.
+	//
+	//pomvet:allow wallclock scope fixture, captured once at init
+	started = time.Now()
+
+	// sibling sits in the same group but has no allow of its own.
+	sibling = time.Now() // want `time.Now reads the wall clock`
+)
+
+// grouped pins that a group-level doc allow still covers every spec.
+//
+//pomvet:allow wallclock scope fixture, whole group sanctioned
+var (
+	first  = time.Now()
+	second = time.Now()
+)

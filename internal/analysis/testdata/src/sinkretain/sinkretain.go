@@ -1,0 +1,149 @@
+// Package sinkretain is the golden fixture for the sinkretain
+// analyzer: Sample/Push methods and SampleFunc callbacks receive
+// reused row buffers; retaining the slice header past the call is a
+// finding, copying the elements out is the sanctioned idiom.
+package sinkretain
+
+// RetainingSink is the seeded retained-row sink: it keeps the header.
+type RetainingSink struct {
+	last []float64
+}
+
+// Sample stores the reused row, aliasing memory the solver overwrites.
+func (s *RetainingSink) Sample(t float64, y []float64) {
+	s.last = y // want `RetainingSink.Sample retains its reused buffer y: assigned to a field`
+}
+
+// CopySink copies the elements out — the sanctioned idiom.
+type CopySink struct {
+	rows [][]float64
+}
+
+// Sample takes a snapshot of the row; no header survives the call.
+func (s *CopySink) Sample(t float64, y []float64) {
+	r := make([]float64, len(y))
+	copy(r, y)
+	s.rows = append(s.rows, r)
+}
+
+// AppendSink appends the header itself instead of a copy.
+type AppendSink struct {
+	rows [][]float64
+}
+
+// Sample retains through the append.
+func (s *AppendSink) Sample(t float64, y []float64) {
+	s.rows = append(s.rows, y) // want `AppendSink.Sample retains its reused buffer y`
+}
+
+// ChanSink ships the row to a consumer that runs after the call.
+type ChanSink struct {
+	ch chan []float64
+}
+
+// Push retains through the channel send.
+func (s *ChanSink) Push(y []float64) {
+	s.ch <- y // want `ChanSink.Push retains its reused buffer y: sent on a channel`
+}
+
+// GoSink hands the row to a goroutine that may outlive the call.
+type GoSink struct{}
+
+// Sample retains through the goroutine argument.
+func (s *GoSink) Sample(t float64, y []float64) {
+	go consume(y) // want `GoSink.Sample retains its reused buffer y: passed to a goroutine`
+}
+
+func consume(y []float64) {}
+
+// RetainingStore is an unexported helper that keeps whatever it is
+// handed; forwarding a row into it is the interprocedural case.
+type RetainingStore struct {
+	last []float64
+}
+
+func (st *RetainingStore) keep(y []float64) {
+	st.last = y
+}
+
+// ForwardSink retains by forwarding the row to a retaining callee.
+type ForwardSink struct {
+	dst *RetainingStore
+}
+
+// Sample retains one call away.
+func (s *ForwardSink) Sample(t float64, y []float64) {
+	s.dst.keep(y) // want `ForwardSink.Sample retains its reused buffer y: forwarded to RetainingStore.keep`
+}
+
+// SubsliceSink aliases the buffer through a subslice before storing.
+type SubsliceSink struct {
+	head []float64
+}
+
+// Sample retains through the alias.
+func (s *SubsliceSink) Sample(t float64, y []float64) {
+	h := y[:2]
+	s.head = h // want `SubsliceSink.Sample retains its reused buffer y`
+}
+
+// SanctionedSink retains deliberately, with a reasoned allow: its
+// caller passes a fresh slice per call, outside the reuse contract.
+type SanctionedSink struct {
+	last []float64
+}
+
+// Sample is annotated; no finding.
+func (s *SanctionedSink) Sample(t float64, y []float64) {
+	s.last = y //pomvet:allow sinkretain the test harness passes a fresh slice per call
+}
+
+// ScalarSink reads values out of the row — never a finding.
+type ScalarSink struct {
+	sum float64
+}
+
+// Sample reads basic elements; element reads carry no mark.
+func (s *ScalarSink) Sample(t float64, y []float64) {
+	for _, v := range y {
+		s.sum += v
+	}
+}
+
+// Options mirrors ode.SolveOptions: SampleFunc receives reused rows.
+type Options struct {
+	SampleFunc func(t float64, y []float64)
+}
+
+var captured []float64
+
+// wireLiteral wires a retaining literal into a SampleFunc field.
+func wireLiteral() Options {
+	return Options{
+		SampleFunc: func(t float64, y []float64) {
+			captured = y // want `SampleFunc retains its reused buffer y: assigned to a field`
+		},
+	}
+}
+
+// keepRow is a declared function wired into a SampleFunc slot; the
+// analyzer follows the reference to its declaration.
+func keepRow(t float64, y []float64) {
+	captured = y // want `sinkretain.keepRow retains its reused buffer y: assigned to a field`
+}
+
+// wireAssign wires keepRow by name.
+func wireAssign(o *Options) {
+	o.SampleFunc = keepRow
+}
+
+// wireClean wires a copying literal; no finding.
+func wireClean(o *Options) {
+	var sum float64
+	o.SampleFunc = func(t float64, y []float64) {
+		for _, v := range y {
+			sum += v
+		}
+	}
+	_ = sum
+}

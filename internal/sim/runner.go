@@ -56,6 +56,8 @@ func (r *Runner) Run() {
 // one goroutine at a time (the ODE solver), so no locking is needed. The
 // workers capture the channels as locals: Close overwrites the struct
 // fields, and a field read from a draining worker would race with it.
+//
+//pomvet:allow allocflow pool (re)start is a one-time warm-up; steady-state Run is alloc-free
 func (r *Runner) start() {
 	n := r.Chunks()
 	jobs := make(chan int, n)
