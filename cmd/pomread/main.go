@@ -8,7 +8,9 @@
 //	pomread -dir runs/desync              # per-shard and whole-archive summary
 //	pomread -dir runs/desync -index 17    # dump one point's record
 //	pomread -dir runs/desync -verify      # CRC-check every record
+//	pomread -dir runs/desync -stats       # format/codec/compression report
 //	pomread -dir runs/scan -merge out     # compact into a canonical archive
+//	pomread -dir runs/scan -merge out -merge-codec raw   # ... uncompressed
 //	pomread -dir out -compare out2        # record-level equality of two archives
 //	pomread -dir runs/scan -missing 64    # points of 0..63 not yet archived
 //
@@ -18,13 +20,21 @@
 // reports the first corruption, so a damaged archive is diagnosed
 // instead of silently mis-read.
 //
+// -stats decodes every record and reports, per shard and in total, the
+// format generation (POMARC1/POMARC2), the record-codec mix (raw vs
+// delta-compressed), on-disk bytes per point, and the compression
+// ratio against the canonical raw payload encoding — the number to
+// check before deciding whether a sweep should archive raw (see
+// PERFORMANCE.md, "Archive compression").
+//
 // -merge, -compare, and -missing are the read-side half of the
 // distributed sweeps (internal/dsweep): merge compacts a fleet's
 // per-worker shards into a canonical layout (ascending point order,
-// fixed shard packing — two merges of the same records are identical
-// file-for-file, the chaos-test invariant), compare verifies two
-// archives hold bitwise-identical records regardless of shard layout,
-// and missing reports sweep coverage.
+// fixed shard packing, records re-encoded with -merge-codec — two
+// merges of the same records are identical file-for-file even when the
+// sources mix codecs, the chaos-test invariant), compare verifies two
+// archives hold bitwise-identical records regardless of shard layout
+// or codec, and missing reports sweep coverage.
 package main
 
 import (
@@ -46,8 +56,10 @@ func main() {
 		index    = flag.Int("index", -1, "dump the record of this point index (-1 = summarize the archive)")
 		verify   = flag.Bool("verify", false, "read and CRC-check every record")
 		rows     = flag.Int("rows", 2, "sample rows to print from each end of a dumped record")
+		stats    = flag.Bool("stats", false, "report format generations, codec mix, and compression ratio")
 		merge    = flag.String("merge", "", "compact -dir into a canonical archive at this (empty) directory")
 		perShard = flag.Int("per-shard", 0, "records per merged shard (0 = default)")
+		mergeC   = flag.String("merge-codec", "", "record codec of merged shards: delta | raw (empty = delta)")
 		compare  = flag.String("compare", "", "verify -dir and this archive hold bitwise-identical records")
 		missing  = flag.Int("missing", 0, "report which of points 0..N-1 are absent from -dir")
 	)
@@ -58,11 +70,16 @@ func main() {
 
 	switch {
 	case *merge != "":
-		stats, err := dsweep.Merge(*dir, *merge, *perShard)
+		codec, err := archive.ParseCodec(*mergeC)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("merged %d points into %d canonical shard(s) at %s\n", stats.Points, stats.Shards, *merge)
+		st, err := dsweep.MergeWith(*dir, *merge, *perShard, codec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("merged %d points into %d canonical %s shard(s) at %s\n",
+			st.Points, st.Shards, codec, *merge)
 		return
 	case *compare != "":
 		if err := dsweep.Equal(*dir, *compare); err != nil {
@@ -92,6 +109,8 @@ func main() {
 	defer func() { _ = a.Close() }()
 
 	switch {
+	case *stats:
+		doStats(a)
 	case *verify:
 		doVerify(a)
 	case *index >= 0:
@@ -155,6 +174,79 @@ func dump(a *archive.Archive, index uint64, edgeRows int) {
 		fmt.Printf("    rank %-3d compute %8.4g  comm %8.4g  (%.0f%% compute)\n",
 			u.Rank, u.Compute, u.Comm, 100*u.ComputeFraction)
 	}
+}
+
+// doStats reports the format generation, record-codec mix, and
+// compression of every shard: on-disk payload bytes against the
+// canonical raw payload encoding of the same records.
+func doStats(a *archive.Archive) {
+	var totalRecs int
+	var totalDisk, totalPayload, totalCanon int64
+	totalMix := map[archive.Codec]int{}
+	for _, s := range a.Shards() {
+		var payload, canon int64
+		mix := map[archive.Codec]int{}
+		for k := 0; k < s.Len(); k++ {
+			c, err := s.RecordCodec(k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mix[c]++
+			totalMix[c]++
+			p, err := s.ReadRaw(k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			payload += int64(len(p))
+			cb, err := s.ReadCanonical(k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			canon += int64(len(cb))
+		}
+		fmt.Printf("%-24s POMARC%d  %6d records  %10d bytes  %s  %.2fx\n",
+			filepath.Base(s.Path), s.Version(), s.Len(), s.Size(),
+			mixString(mix), ratio(canon, payload))
+		totalRecs += s.Len()
+		totalDisk += s.Size()
+		totalPayload += payload
+		totalCanon += canon
+	}
+	if totalRecs == 0 {
+		fmt.Println("empty archive")
+		return
+	}
+	fmt.Printf("%d records in %d shard(s): %d bytes on disk (%.1f B/point), %s\n",
+		totalRecs, len(a.Shards()), totalDisk, float64(totalDisk)/float64(totalRecs), mixString(totalMix))
+	fmt.Printf("payload %d bytes vs %d canonical raw: %.2fx compression (%.1f -> %.1f B/point)\n",
+		totalPayload, totalCanon, ratio(totalCanon, totalPayload),
+		float64(totalCanon)/float64(totalRecs), float64(totalPayload)/float64(totalRecs))
+}
+
+// mixString renders a codec→count map as "12 delta + 3 raw".
+func mixString(mix map[archive.Codec]int) string {
+	parts := ""
+	for _, c := range []archive.Codec{archive.CodecDelta, archive.CodecRaw} {
+		if mix[c] == 0 {
+			continue
+		}
+		if parts != "" {
+			parts += " + "
+		}
+		parts += fmt.Sprintf("%d %s", mix[c], c)
+	}
+	if parts == "" {
+		return "no records"
+	}
+	return parts
+}
+
+// ratio guards the canonical/payload division against empty shards.
+func ratio(canon, payload int64) float64 {
+	if payload == 0 {
+		return 1
+	}
+	return float64(canon) / float64(payload)
 }
 
 // doVerify reads every record, which CRC-checks every payload.

@@ -99,6 +99,7 @@ func runDistributed(spec *scenario.Spec, o sweepOpts) {
 		TTL:          o.ttl,
 		RangeWorkers: o.rangeWorkers,
 		WorkerID:     o.workerID,
+		Codec:        shardCodec,
 	}, gen, fn)
 	fmt.Printf("distributed sweep over %s: %d ranges, this worker leased %d (+%d stolen), completed %d, lost %d\n",
 		o.dir, stats.Ranges, stats.Leased, stats.Stolen, stats.Completed, stats.Lost)

@@ -7,7 +7,10 @@
 // shard of the disk-backed archive at DIR (creating it if needed):
 // every sample row plus the summary-metric vector, readable back with
 // cmd/pomread or internal/archive. Archiving implies streaming mode, so
-// it composes with -stream and excludes -svg.
+// it composes with -stream and excludes -svg. Shards are written in the
+// POMARC2 format; -archive-codec picks the record codec (delta
+// compression by default, raw for byte-for-byte POMARC1 payloads) and
+// one directory may mix codecs and generations freely.
 //
 // With -sweep DIR the process instead joins a fault-tolerant
 // distributed sweep as one lease-coordinated worker (internal/dsweep):
@@ -74,6 +77,7 @@ func main() {
 		svgDir    = flag.String("svg", "", "directory to write SVG plots into (empty = none)")
 		stream    = flag.Bool("stream", false, "stream samples through online accumulators instead of materializing the trajectory (constant memory; no phase strip / SVGs)")
 		archDir   = flag.String("archive", "", "archive the run (all sample rows + summary metrics) into a new shard of this directory; implies -stream")
+		archCodec = flag.String("archive-codec", "delta", "record codec for archived shards: delta (XOR-delta compressed) | raw (POMARC1 payload bits)")
 		quiet     = flag.Bool("quiet", false, "suppress the ASCII phase strip")
 		cfgPath   = flag.String("config", "", "load a scenario JSON (replaces the model flags)")
 		savePath  = flag.String("save-config", "", "write the effective scenario JSON and exit")
@@ -91,6 +95,12 @@ func main() {
 		coordinate   = flag.Bool("coordinate", false, "with -sweep: publish/validate the sweep plan and exit without claiming work")
 	)
 	flag.Parse()
+
+	codec, err := archive.ParseCodec(*archCodec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shardCodec = codec
 
 	if *listFams {
 		for _, f := range scenario.Families() {
@@ -220,6 +230,10 @@ func main() {
 	report(spec, m, res, *svgDir, *quiet)
 }
 
+// shardCodec is the record codec of every shard this invocation
+// writes, set once in main from -archive-codec.
+var shardCodec archive.Codec
+
 // openArchiveRecord opens a new shard of the archive at archDir and
 // begins its single record with the given parameter vector, using the
 // shard id as the point index so successive pomsim invocations
@@ -229,7 +243,7 @@ func openArchiveRecord(archDir string, params []float64) (*archive.Writer, *arch
 	if err != nil {
 		log.Fatal(err)
 	}
-	aw, err := archive.Create(archDir, shard)
+	aw, err := archive.CreateWith(archDir, shard, shardCodec)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -41,7 +41,8 @@ const (
 func math64bits(v float64) uint64 { return math.Float64bits(v) }
 
 const (
-	shardMagic   = "POMARC1\n"
+	shardMagicV1 = "POMARC1\n"
+	shardMagicV2 = "POMARC2\n"
 	recordMagic  = 0x504d5243 // "PMRC"
 	footerMagic  = 0x504d4958 // "PMIX"
 	trailerMagic = 0x504d4654 // "PMFT"
@@ -120,17 +121,23 @@ func NextShard(dir string) (int, error) {
 // Close, when the footer index is written, the file synced, and the
 // *.tmp name atomically renamed to the final one.
 type Writer struct {
-	dir   string
-	path  string // final path
-	tmp   string // in-progress path
-	f     *os.File
-	bw    *bufio.Writer
-	off   int64 // logical write offset (through bw)
-	ents  []indexEntry
-	rec   *RecordWriter // open record, if any
-	buf   []byte        // encoding scratch
-	werr  error         // sticky injected/deferred write error
-	state writerState
+	dir     string
+	path    string // final path
+	tmp     string // in-progress path
+	f       *os.File
+	bw      *bufio.Writer
+	off     int64 // logical write offset (through bw)
+	ents    []indexEntry
+	rec     *RecordWriter // open record, if any
+	buf     []byte        // encoding scratch
+	version int           // shard format generation (1 or 2)
+	codec   Codec         // resolved record codec (CodecRaw or CodecDelta)
+	// Per-column predictor state for CodecDelta, sized by
+	// RecordWriter.Begin so Sample never allocates (prev[0] is the time
+	// column). Owned by the Writer so scratch survives across records.
+	prev, prev2 []uint64
+	werr        error // sticky injected/deferred write error
+	state       writerState
 }
 
 type writerState int
@@ -148,8 +155,27 @@ type indexEntry struct {
 }
 
 // Create opens a new shard writer for the given shard id inside dir
-// (created if missing). The data lands in a *.tmp file until Close.
+// (created if missing), writing the current format generation
+// (POMARC2) with the default codec (CodecDelta). The data lands in a
+// *.tmp file until Close.
 func Create(dir string, shard int) (*Writer, error) {
+	return CreateWith(dir, shard, CodecDefault)
+}
+
+// CreateWith is Create with an explicit record codec.
+func CreateWith(dir string, shard int, codec Codec) (*Writer, error) {
+	return create(dir, shard, 2, codec)
+}
+
+// CreateV1 opens a shard writer that produces the legacy POMARC1
+// format (raw payloads, no codec byte). It exists so compatibility
+// tests and tooling can generate previous-generation archives; new
+// writes should use Create/CreateWith.
+func CreateV1(dir string, shard int) (*Writer, error) {
+	return create(dir, shard, 1, CodecRaw)
+}
+
+func create(dir string, shard, version int, codec Codec) (*Writer, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("archive: %w", err)
 	}
@@ -174,8 +200,17 @@ func Create(dir string, shard int) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("archive: creating shard (already being written by another run?): %w", err)
 	}
-	w := &Writer{dir: dir, path: path, tmp: tmp, f: f, bw: bufio.NewWriterSize(f, 1<<16)}
-	w.writeRaw([]byte(shardMagic))
+	w := &Writer{
+		dir: dir, path: path, tmp: tmp, f: f,
+		bw:      bufio.NewWriterSize(f, 1<<16),
+		version: version,
+		codec:   codec.resolve(),
+	}
+	if version == 1 {
+		w.writeRaw([]byte(shardMagicV1))
+	} else {
+		w.writeRaw([]byte(shardMagicV2))
+	}
 	return w, nil
 }
 
@@ -186,11 +221,16 @@ func Create(dir string, shard int) (*Writer, error) {
 // create serializes them, and the loser simply moves to the next id
 // instead of failing the run.
 func CreateAny(dir string, from int) (*Writer, error) {
+	return CreateAnyWith(dir, from, CodecDefault)
+}
+
+// CreateAnyWith is CreateAny with an explicit record codec.
+func CreateAnyWith(dir string, from int, codec Codec) (*Writer, error) {
 	if from < 0 {
 		from = 0
 	}
 	for id := from; ; id++ {
-		w, err := Create(dir, id)
+		w, err := CreateWith(dir, id, codec)
 		if err == nil {
 			return w, nil
 		}
@@ -211,6 +251,9 @@ func (w *Writer) TmpPath() string { return w.tmp }
 
 // Len returns the number of sealed records.
 func (w *Writer) Len() int { return len(w.ents) }
+
+// Codec returns the resolved record codec the writer encodes with.
+func (w *Writer) Codec() Codec { return w.codec }
 
 // writeRaw writes b to the shard and advances the logical offset. An
 // injected fault at SiteWrite either poisons the writer with a sticky
@@ -280,7 +323,13 @@ func (w *Writer) Begin(index uint64, params []float64) (*RecordWriter, error) {
 	w.buf = u32(w.buf, 0) // payload length, patched by Finish
 	w.writeRaw(w.buf)
 	rw.payloadOff = w.off
-	w.buf = u64(w.buf[:0], index)
+	w.buf = w.buf[:0]
+	if w.version >= 2 {
+		// POMARC2 records are self-describing: the leading codec byte
+		// lets one archive (or one merge) mix record generations.
+		w.buf = append(w.buf, w.codec.wireByte())
+	}
+	w.buf = u64(w.buf, index)
 	w.buf = u32(w.buf, uint32(len(params)))
 	w.buf = f64s(w.buf, params)
 	rw.write(w.buf)
@@ -505,9 +554,27 @@ func (rw *RecordWriter) Begin(n, nSamples int) {
 	}
 	rw.dims = true
 	rw.width, rw.nSamples = n, nSamples
-	rw.w.buf = u32(rw.w.buf[:0], uint32(n))
-	rw.w.buf = u32(rw.w.buf, uint32(nSamples))
-	rw.write(rw.w.buf)
+	w := rw.w
+	// Pre-size the encode scratch from the announced dimensions so the
+	// per-row Sample path never regrows a buffer mid-record: the shared
+	// byte scratch is held at the worst-case row encoding (uvarint needs
+	// at most MaxVarintLen64 bytes per column, raw rows need 8), and the
+	// delta predictor columns are (re)sized once per record.
+	cols := 1 + n
+	if need := cols * binary.MaxVarintLen64; cap(w.buf) < need {
+		w.buf = make([]byte, 0, need)
+	}
+	if w.codec == CodecDelta && nSamples > 0 {
+		if cap(w.prev) < cols {
+			w.prev = make([]uint64, cols)
+			w.prev2 = make([]uint64, cols)
+		}
+		w.prev = w.prev[:cols]
+		w.prev2 = w.prev2[:cols]
+	}
+	w.buf = u32(w.buf[:0], uint32(n))
+	w.buf = u32(w.buf, uint32(nSamples))
+	rw.write(w.buf)
 }
 
 // Sample implements core.Sink: it appends one row. y is not retained.
@@ -523,10 +590,16 @@ func (rw *RecordWriter) Sample(t float64, y []float64) {
 	case rw.rows >= rw.nSamples:
 		rw.stash(fmt.Errorf("archive: more than %d sample rows", rw.nSamples))
 	default:
+		row := rw.rows
 		rw.rows++
-		rw.w.buf = u64(rw.w.buf[:0], math64bits(t))
-		rw.w.buf = f64s(rw.w.buf, y)
-		rw.write(rw.w.buf)
+		w := rw.w
+		if w.codec == CodecDelta {
+			w.buf = appendDeltaRow(w.buf[:0], row, math64bits(t), y, w.prev, w.prev2)
+		} else {
+			w.buf = u64(w.buf[:0], math64bits(t))
+			w.buf = f64s(w.buf, y)
+		}
+		rw.write(w.buf)
 	}
 }
 

@@ -198,11 +198,27 @@ func TestStreamedMatchesAppend(t *testing.T) {
 	}
 }
 
+// formatVariants enumerates every way a shard can be written: the two
+// POMARC2 codecs plus the legacy POMARC1 format. Corruption sweeps and
+// round-trip properties run over all of them.
+var formatVariants = []struct {
+	name   string
+	create func(dir string, shard int) (*Writer, error)
+}{
+	{"delta", func(dir string, shard int) (*Writer, error) { return CreateWith(dir, shard, CodecDelta) }},
+	{"raw", func(dir string, shard int) (*Writer, error) { return CreateWith(dir, shard, CodecRaw) }},
+	{"v1", CreateV1},
+}
+
 // writeTestShard writes a 3-record shard and returns its path.
 func writeTestShard(t *testing.T, dir string) string {
+	return writeTestShardWith(t, dir, Create)
+}
+
+func writeTestShardWith(t *testing.T, dir string, create func(string, int) (*Writer, error)) string {
 	t.Helper()
 	rng := rand.New(rand.NewSource(11))
-	w, err := Create(dir, 0)
+	w, err := create(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,56 +237,67 @@ func writeTestShard(t *testing.T, dir string) string {
 
 // TestTornWrite truncates a shard at every byte boundary and asserts the
 // reader reports corruption (or reads cleanly, never panics) — the
-// torn-write half of the format's crash-safety story.
+// torn-write half of the format's crash-safety story, for every format
+// variant (both POMARC2 codecs and legacy POMARC1).
 func TestTornWrite(t *testing.T) {
-	path := writeTestShard(t, t.TempDir())
-	good, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	scratch := t.TempDir()
-	cut := filepath.Join(scratch, shardName(0))
-	for size := 0; size < len(good); size++ {
-		if err := os.WriteFile(cut, good[:size], 0o644); err != nil {
-			t.Fatal(err)
-		}
-		s, err := OpenShard(cut)
-		if err == nil {
-			s.Close()
-			t.Fatalf("truncation to %d of %d bytes accepted", size, len(good))
-		}
-		if !errors.Is(err, ErrCorrupt) && size > 0 {
-			t.Fatalf("truncation to %d: error %v does not wrap ErrCorrupt", size, err)
-		}
+	for _, v := range formatVariants {
+		t.Run(v.name, func(t *testing.T) {
+			path := writeTestShardWith(t, t.TempDir(), v.create)
+			good, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scratch := t.TempDir()
+			cut := filepath.Join(scratch, shardName(0))
+			for size := 0; size < len(good); size++ {
+				if err := os.WriteFile(cut, good[:size], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				s, err := OpenShard(cut)
+				if err == nil {
+					s.Close()
+					t.Fatalf("truncation to %d of %d bytes accepted", size, len(good))
+				}
+				if !errors.Is(err, ErrCorrupt) && size > 0 {
+					t.Fatalf("truncation to %d: error %v does not wrap ErrCorrupt", size, err)
+				}
+			}
+		})
 	}
 }
 
 // TestBitRot flips bytes in the record payloads and the footer: index
-// loading or record reads must fail with ErrCorrupt, never panic.
+// loading or record reads must fail with ErrCorrupt, never panic — the
+// CRC runs over the compressed payload, so damage inside a delta row
+// surfaces exactly like damage inside a raw one.
 func TestBitRot(t *testing.T) {
-	path := writeTestShard(t, t.TempDir())
-	good, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	scratch := t.TempDir()
-	for pos := headerLen; pos < len(good); pos += 7 {
-		bad := append([]byte(nil), good...)
-		bad[pos] ^= 0x41
-		target := filepath.Join(scratch, shardName(0))
-		if err := os.WriteFile(target, bad, 0o644); err != nil {
-			t.Fatal(err)
-		}
-		s, err := OpenShard(target)
-		if err != nil {
-			continue // index-level damage detected at open
-		}
-		for k := 0; k < s.Len(); k++ {
-			if _, err := s.Read(k); err != nil && !errors.Is(err, ErrCorrupt) {
-				t.Errorf("flip at %d: record %d error %v does not wrap ErrCorrupt", pos, k, err)
+	for _, v := range formatVariants {
+		t.Run(v.name, func(t *testing.T) {
+			path := writeTestShardWith(t, t.TempDir(), v.create)
+			good, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
-		s.Close()
+			scratch := t.TempDir()
+			for pos := headerLen; pos < len(good); pos += 7 {
+				bad := append([]byte(nil), good...)
+				bad[pos] ^= 0x41
+				target := filepath.Join(scratch, shardName(0))
+				if err := os.WriteFile(target, bad, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				s, err := OpenShard(target)
+				if err != nil {
+					continue // index-level damage detected at open
+				}
+				for k := 0; k < s.Len(); k++ {
+					if _, err := s.Read(k); err != nil && !errors.Is(err, ErrCorrupt) {
+						t.Errorf("flip at %d: record %d error %v does not wrap ErrCorrupt", pos, k, err)
+					}
+				}
+				s.Close()
+			}
+		})
 	}
 }
 
@@ -430,8 +457,11 @@ func TestDecodeOverflowingDimensions(t *testing.T) {
 	b = u32(b, 0xffffffff) // nSamples: rowBytes*nSamples wraps negative
 	b = u32(b, 0)          // nMetrics
 	b = u32(b, 0)          // traceLen
-	if _, err := decodePayload(b); err == nil {
+	if _, err := decodeRawPayload(b); err == nil {
 		t.Fatal("overflowing dimensions accepted")
+	}
+	if _, err := decodeDeltaPayload(b); err == nil {
+		t.Fatal("overflowing dimensions accepted by the delta codec")
 	}
 	// And a merely-huge pair that fits in int64 but not the payload.
 	b2 := append([]byte(nil), b[:12]...)
@@ -439,8 +469,11 @@ func TestDecodeOverflowingDimensions(t *testing.T) {
 	b2 = u32(b2, 1000)
 	b2 = u32(b2, 0)
 	b2 = u32(b2, 0)
-	if _, err := decodePayload(b2); err == nil {
+	if _, err := decodeRawPayload(b2); err == nil {
 		t.Fatal("oversized dimensions accepted")
+	}
+	if _, err := decodeDeltaPayload(b2); err == nil {
+		t.Fatal("oversized dimensions accepted by the delta codec")
 	}
 }
 

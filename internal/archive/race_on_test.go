@@ -1,0 +1,8 @@
+//go:build race
+
+package archive
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; absolute allocation pins skip under it (instrumentation adds
+// allocations the production build does not have).
+const raceEnabled = true

@@ -16,10 +16,11 @@ import (
 // through ReadAt, so a Shard is safe for concurrent readers.
 type Shard struct {
 	// Path is the shard file path.
-	Path string
-	f    *os.File
-	size int64
-	ents []indexEntry
+	Path    string
+	f       *os.File
+	size    int64
+	version int // format generation from the header magic (1 or 2)
+	ents    []indexEntry
 }
 
 // OpenShard opens and validates one shard file: header magic, trailer,
@@ -57,7 +58,12 @@ func (s *Shard) loadIndex() error {
 	if _, err := s.f.ReadAt(head[:], 0); err != nil {
 		return fmt.Errorf("archive: %w", err)
 	}
-	if string(head[:]) != shardMagic {
+	switch string(head[:]) {
+	case shardMagicV1:
+		s.version = 1
+	case shardMagicV2:
+		s.version = 2
+	default:
 		return s.corrupt("bad header magic")
 	}
 	var tail [trailerLen]byte
@@ -113,6 +119,10 @@ func (s *Shard) Close() error { return s.f.Close() }
 // Len returns the number of records in the shard.
 func (s *Shard) Len() int { return len(s.ents) }
 
+// Version returns the shard's format generation: 1 for POMARC1
+// (raw payloads), 2 for POMARC2 (codec byte per record).
+func (s *Shard) Version() int { return s.version }
+
 // Size returns the shard file size in bytes.
 func (s *Shard) Size() int64 { return s.size }
 
@@ -125,9 +135,11 @@ func (s *Shard) Indices() []uint64 {
 	return out
 }
 
-// ReadRaw returns the k-th record's CRC-verified payload bytes. The
-// payload is the canonical encoding of the record, so two archives hold
-// bitwise-identical data exactly when their ReadRaw payloads match.
+// ReadRaw returns the k-th record's CRC-verified payload bytes exactly
+// as stored: for POMARC2 that includes the leading codec byte and any
+// delta compression. Two same-codec archives hold bitwise-identical
+// data exactly when their ReadRaw payloads match; for comparisons that
+// must span codecs or format generations use ReadCanonical.
 func (s *Shard) ReadRaw(k int) ([]byte, error) {
 	if k < 0 || k >= len(s.ents) {
 		return nil, fmt.Errorf("archive: record %d out of range [0, %d)", k, len(s.ents))
@@ -157,11 +169,61 @@ func (s *Shard) Read(k int) (*Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	rec, err := decodePayload(payload)
+	rec, err := decodePayload(payload, s.version)
 	if err != nil {
 		return nil, s.corrupt("record %d: %v", s.ents[k].index, err)
 	}
 	return rec, nil
+}
+
+// ReadCanonical returns the k-th record's payload re-encoded in the
+// canonical raw (POMARC1) layout, independent of the codec or format
+// generation it was stored with. Two archives hold bitwise-identical
+// data exactly when their ReadCanonical payloads match — even when one
+// is delta-compressed and the other raw or legacy.
+func (s *Shard) ReadCanonical(k int) ([]byte, error) {
+	payload, err := s.ReadRaw(k)
+	if err != nil {
+		return nil, err
+	}
+	if s.version == 1 {
+		return payload, nil
+	}
+	if len(payload) == 0 {
+		return nil, s.corrupt("record %d: empty payload", s.ents[k].index)
+	}
+	if payload[0] == codecByteRaw {
+		return payload[1:], nil
+	}
+	rec, err := decodePayload(payload, s.version)
+	if err != nil {
+		return nil, s.corrupt("record %d: %v", s.ents[k].index, err)
+	}
+	return appendRawPayload(nil, rec), nil
+}
+
+// RecordCodec returns the codec the k-th record was stored with.
+// POMARC1 records report CodecRaw.
+func (s *Shard) RecordCodec(k int) (Codec, error) {
+	if k < 0 || k >= len(s.ents) {
+		return CodecDefault, fmt.Errorf("archive: record %d out of range [0, %d)", k, len(s.ents))
+	}
+	if s.version == 1 {
+		return CodecRaw, nil
+	}
+	e := s.ents[k]
+	if e.length == 0 {
+		return CodecDefault, s.corrupt("record %d: empty payload", e.index)
+	}
+	var b [1]byte
+	if _, err := s.f.ReadAt(b[:], e.off+8); err != nil {
+		return CodecDefault, s.corrupt("record %d: %v", e.index, err)
+	}
+	c, ok := codecOfByte(b[0])
+	if !ok {
+		return CodecDefault, s.corrupt("record %d: unknown codec byte 0x%02x", e.index, b[0])
+	}
+	return c, nil
 }
 
 // payloadReader is a bounds-checked little-endian decoder; the first
@@ -228,14 +290,66 @@ func (p *payloadReader) f64s(count int, what string) []float64 {
 }
 
 // decodePayload decodes one record payload (the inverse of the
-// RecordWriter stream).
-func decodePayload(b []byte) (*Record, error) {
-	p := &payloadReader{b: b}
-	rec := &Record{}
+// RecordWriter stream) according to the shard format generation:
+// POMARC1 payloads are raw, POMARC2 payloads lead with a codec byte.
+func decodePayload(b []byte, version int) (*Record, error) {
+	if version == 1 {
+		return decodeRawPayload(b)
+	}
+	if len(b) == 0 {
+		return nil, fmt.Errorf("empty payload")
+	}
+	switch b[0] {
+	case codecByteRaw:
+		return decodeRawPayload(b[1:])
+	case codecByteDelta:
+		return decodeDeltaPayload(b[1:])
+	}
+	return nil, fmt.Errorf("unknown codec byte 0x%02x", b[0])
+}
+
+// decodeHead reads the sections ahead of the row data (index, params,
+// dimensions), which both codecs store raw.
+func decodeHead(p *payloadReader, rec *Record) (width, nSamples int) {
 	rec.Index = p.u64("index")
 	rec.Params = p.f64s(int(p.u32("param count")), "params")
-	width := int(p.u32("width"))
-	nSamples := int(p.u32("sample count"))
+	width = int(p.u32("width"))
+	nSamples = int(p.u32("sample count"))
+	return width, nSamples
+}
+
+// decodeTail reads the metric and trace sections, which both codecs
+// store raw, and verifies the payload is fully consumed.
+func decodeTail(p *payloadReader, rec *Record) error {
+	b := p.b
+	rec.Metrics = p.f64s(int(p.u32("metric count")), "metrics")
+	traceLen := int(p.u32("trace length"))
+	if p.err == nil && traceLen > 0 {
+		if p.off+traceLen > len(b) {
+			p.fail("trace")
+		} else {
+			tr, err := trace.DecodeBinary(b[p.off : p.off+traceLen])
+			if err != nil {
+				return fmt.Errorf("embedded trace: %w", err)
+			}
+			rec.Trace = tr
+			p.off += traceLen
+		}
+	}
+	if p.err != nil {
+		return p.err
+	}
+	if p.off != len(b) {
+		return fmt.Errorf("payload has %d trailing bytes", len(b)-p.off)
+	}
+	return nil
+}
+
+// decodeRawPayload decodes a CodecRaw (or POMARC1) payload body.
+func decodeRawPayload(b []byte) (*Record, error) {
+	p := &payloadReader{b: b}
+	rec := &Record{}
+	width, nSamples := decodeHead(p, rec)
 	if p.err == nil {
 		// Division-based bounds check: a crafted (width, nSamples) pair
 		// must not overflow into a passing product and reach make().
@@ -261,25 +375,44 @@ func decodePayload(b []byte) (*Record, error) {
 			}
 		}
 	}
-	rec.Metrics = p.f64s(int(p.u32("metric count")), "metrics")
-	traceLen := int(p.u32("trace length"))
-	if p.err == nil && traceLen > 0 {
-		if p.off+traceLen > len(b) {
-			p.fail("trace")
-		} else {
-			tr, err := trace.DecodeBinary(b[p.off : p.off+traceLen])
-			if err != nil {
-				return nil, fmt.Errorf("embedded trace: %w", err)
-			}
-			rec.Trace = tr
-			p.off += traceLen
+	if err := decodeTail(p, rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// decodeDeltaPayload decodes a CodecDelta payload body.
+func decodeDeltaPayload(b []byte) (*Record, error) {
+	p := &payloadReader{b: b}
+	rec := &Record{}
+	width, nSamples := decodeHead(p, rec)
+	if p.err == nil {
+		// Bounds before allocation: row 0 is raw (8 bytes per column)
+		// and every later row needs at least one varint byte per column,
+		// so a crafted (width, nSamples) pair fails here, overflow-free,
+		// instead of reaching make(). cols ≤ rem/8 keeps cols*8 ≤ rem,
+		// so the second division's numerator cannot go negative.
+		rem := len(b) - p.off
+		cols := 1 + width
+		if width < 0 || nSamples < 0 ||
+			(nSamples > 0 && (cols > rem/8 || nSamples-1 > (rem-cols*8)/cols)) {
+			p.fail("sample rows")
 		}
 	}
-	if p.err != nil {
-		return nil, p.err
+	if p.err == nil {
+		rec.Width = width
+		if nSamples > 0 {
+			rec.Ts = make([]float64, nSamples)
+			rec.Samples = make([]float64, nSamples*width)
+			n, err := decodeDeltaRows(b[p.off:], rec, nSamples, width)
+			if err != nil {
+				return nil, err
+			}
+			p.off += n
+		}
 	}
-	if p.off != len(b) {
-		return nil, fmt.Errorf("payload has %d trailing bytes", len(b)-p.off)
+	if err := decodeTail(p, rec); err != nil {
+		return nil, err
 	}
 	return rec, nil
 }
@@ -377,6 +510,16 @@ func (a *Archive) ReadRaw(index uint64) ([]byte, error) {
 		return nil, fmt.Errorf("archive: point %d not archived", index)
 	}
 	return a.shards[loc.shard].ReadRaw(loc.slot)
+}
+
+// ReadCanonical returns the canonical (codec-independent) payload bytes
+// of point index (see Shard.ReadCanonical).
+func (a *Archive) ReadCanonical(index uint64) ([]byte, error) {
+	loc, ok := a.locs[index]
+	if !ok {
+		return nil, fmt.Errorf("archive: point %d not archived", index)
+	}
+	return a.shards[loc.shard].ReadCanonical(loc.slot)
 }
 
 // Iter streams every archived record to fn in ascending point order,

@@ -39,10 +39,18 @@ type event struct {
 	ch   int32
 }
 
-// eventHeap is a binary min-heap of events ordered by (time, insertion
+// eventHeap is a 4-ary min-heap of events ordered by (time, insertion
 // sequence) for determinism. It is value-typed: push and pop move event
 // structs within one backing array, with no per-event boxing and no
 // interface{} round-trips.
+//
+// The (t, seq) key is a strict total order — seq is unique per event —
+// so heap arity is pure memory layout: every correct min-heap pops the
+// identical event sequence (pinned by TestEventHeapMatchesBinaryReference).
+// The 4-ary node halves the tree depth, all four children are adjacent
+// in memory, and both sifts move the hole instead of swapping — one
+// 64-byte event copy per level rather than three. See PERFORMANCE.md
+// for the measured events/s.
 type eventHeap []event
 
 //pomvet:allocfree
@@ -53,19 +61,32 @@ func (h eventHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
+// lessEvent orders an out-of-array event against a stored one — the
+// hole-based sifts compare the moving element without writing it back
+// at every level.
+//
+//pomvet:allocfree
+func lessEvent(a, b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
 //pomvet:allocfree
 func (h *eventHeap) push(e event) {
 	*h = append(*h, e) //pomvet:allow allocfree backing array is pre-sized by the engine; growth is amortized warm-up, and the AllocsPerRun pin proves the steady state
 	q := *h
 	i := len(q) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		parent := (i - 1) / 4
+		if !lessEvent(e, q[parent]) {
 			break
 		}
-		q[i], q[parent] = q[parent], q[i]
+		q[i] = q[parent]
 		i = parent
 	}
+	q[i] = e
 }
 
 //pomvet:allocfree
@@ -73,25 +94,34 @@ func (h *eventHeap) pop() event {
 	q := *h
 	n := len(q) - 1
 	top := q[0]
-	q[0] = q[n]
+	e := q[n]      // the displaced tail event, sifted down from the root
 	q[n] = event{} // clear pointers for the GC
 	q = q[:n]
 	*h = q
 	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && q.less(l, small) {
-			small = l
-		}
-		if r < n && q.less(r, small) {
-			small = r
-		}
-		if small == i {
+		first := 4*i + 1
+		if first >= n {
 			break
 		}
-		q[i], q[small] = q[small], q[i]
+		small := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.less(c, small) {
+				small = c
+			}
+		}
+		if !lessEvent(q[small], e) {
+			break
+		}
+		q[i] = q[small]
 		i = small
+	}
+	if n > 0 {
+		q[i] = e
 	}
 	return top
 }

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// binaryRefHeap is a straight copy of the engine's previous binary-heap
+// sift logic, kept as the reference implementation for the arity pin.
+type binaryRefHeap []event
+
+func (h binaryRefHeap) less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *binaryRefHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *binaryRefHeap) pop() event {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0] = q[n]
+	q[n] = event{}
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.less(l, small) {
+			small = l
+		}
+		if r < n && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	return top
+}
+
+// TestEventHeapMatchesBinaryReference pins that the 4-ary event heap
+// pops the exact event sequence the old binary heap popped. The (t,
+// seq) key is a strict total order, so this must hold for any mix of
+// pushes and pops — including heavy timestamp ties, where only seq
+// breaks the order.
+func TestEventHeapMatchesBinaryReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var quad eventHeap
+	var bin binaryRefHeap
+	seq := int64(0)
+	push := func() {
+		seq++
+		// Coarse timestamps force frequent ties; the engine's real
+		// streams are tie-heavy too (barrier releases, eager bursts).
+		e := event{t: float64(rng.Intn(50)) * 0.125, seq: seq, kind: evKind(rng.Intn(4)), ch: int32(seq)}
+		quad.push(e)
+		bin.push(e)
+	}
+	popBoth := func() {
+		a, b := quad.pop(), bin.pop()
+		if a != b {
+			t.Fatalf("pop diverged: 4-ary gave (t=%g seq=%d), binary gave (t=%g seq=%d)",
+				a.t, a.seq, b.t, b.seq)
+		}
+	}
+	// Interleaved churn at varying fill levels, then full drain.
+	for round := 0; round < 200; round++ {
+		for i, n := 0, rng.Intn(20); i < n; i++ {
+			push()
+		}
+		for i, n := 0, rng.Intn(15); i < n && len(quad) > 0; i++ {
+			popBoth()
+		}
+	}
+	for len(quad) > 0 {
+		popBoth()
+	}
+	if len(bin) != 0 {
+		t.Fatalf("reference heap still holds %d events", len(bin))
+	}
+}

@@ -26,6 +26,18 @@ func TestChaosFleetMatchesSerialBitwise(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second chaos test")
 	}
+	// Run the whole harness once per record codec. The serial reference
+	// always writes the archive default (delta), so the raw subtest
+	// additionally pins cross-codec canonicalization: a raw fleet and a
+	// delta serial sweep merge to file-for-file identical archives.
+	for _, codec := range []archive.Codec{archive.CodecDelta, archive.CodecRaw} {
+		t.Run(codec.String(), func(t *testing.T) {
+			chaosFleetMatchesSerial(t, codec)
+		})
+	}
+}
+
+func chaosFleetMatchesSerial(t *testing.T, codec archive.Codec) {
 	defer failpoint.Reset()
 	const (
 		n         = 200
@@ -75,6 +87,7 @@ func TestChaosFleetMatchesSerialBitwise(t *testing.T) {
 		s, err := Run(ctx, Config{
 			Dir: chaosDir, N: n, RangeSize: rangeSize,
 			TTL: ttl, Heartbeat: heartbeat, Poll: poll, WorkerID: id,
+			Codec: codec,
 		}, testGen, testPoint)
 		mu.Lock()
 		stats[w] = Stats{

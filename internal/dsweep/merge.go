@@ -33,7 +33,17 @@ type MergeStats struct {
 // until every planned point is present, so a half-finished sweep can
 // never masquerade as a complete canonical archive. dstDir must not
 // already contain shards.
+//
+// Merge writes the archive default codec (delta); it re-encodes as it
+// goes, so the file-for-file guarantee holds even when the sources mix
+// record generations. MergeWith chooses the output codec explicitly.
 func Merge(srcDir, dstDir string, perShard int) (MergeStats, error) {
+	return MergeWith(srcDir, dstDir, perShard, archive.CodecDefault)
+}
+
+// MergeWith is Merge with an explicit output codec for the canonical
+// shards.
+func MergeWith(srcDir, dstDir string, perShard int, codec archive.Codec) (MergeStats, error) {
 	var stats MergeStats
 	if perShard <= 0 {
 		perShard = DefaultMergeShardSize
@@ -66,7 +76,7 @@ func Merge(srcDir, dstDir string, perShard int) (MergeStats, error) {
 		if hi > len(indices) {
 			hi = len(indices)
 		}
-		w, err := archive.Create(dstDir, stats.Shards)
+		w, err := archive.CreateWith(dstDir, stats.Shards, codec)
 		if err != nil {
 			return stats, fmt.Errorf("dsweep: %w", err)
 		}
@@ -113,8 +123,11 @@ func missingIn(a *archive.Archive, n int) []int {
 
 // Equal verifies that the archives in aDir and bDir hold exactly the
 // same records: the same point-index set and, for every point,
-// byte-identical payloads. It reports the first difference found; nil
-// means the archives are equivalent regardless of shard layout.
+// byte-identical canonical payloads — the codec-independent raw
+// encoding, so a delta-compressed archive compares equal to a raw or
+// POMARC1 archive of the same records. It reports the first difference
+// found; nil means the archives are equivalent regardless of shard
+// layout or record codec.
 func Equal(aDir, bDir string) error {
 	a, err := archive.OpenDir(aDir)
 	if err != nil {
@@ -137,11 +150,11 @@ func Equal(aDir, bDir string) error {
 		}
 	}
 	for _, idx := range a.Indices() {
-		ra, err := a.ReadRaw(idx)
+		ra, err := a.ReadCanonical(idx)
 		if err != nil {
 			return fmt.Errorf("dsweep: %w", err)
 		}
-		rb, err := b.ReadRaw(idx)
+		rb, err := b.ReadCanonical(idx)
 		if err != nil {
 			return fmt.Errorf("dsweep: %w", err)
 		}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/failpoint"
 	"repro/internal/retry"
 	"repro/internal/sweep"
@@ -45,6 +46,12 @@ type Config struct {
 	// WorkerID names this worker in lease files. It must be unique
 	// across the fleet; empty derives host+pid.
 	WorkerID string
+	// Codec selects the record codec of the shards this worker writes.
+	// The zero value is the archive default (delta compression). Workers
+	// of one fleet may disagree — POMARC2 records are self-describing,
+	// and Merge canonicalizes the mix — but matching codecs keep the
+	// pre-merge archives byte-comparable.
+	Codec archive.Codec
 }
 
 // DefaultRangeSize is the points-per-lease granularity when the
@@ -244,6 +251,7 @@ func runRange(ctx context.Context, cfg Config, plan Plan, l *lease, gen func(i i
 		StaleTmpAfter:   cfg.TTL,
 		DiscardOnCancel: true,
 		BeforeSeal:      l.check,
+		Codec:           cfg.Codec,
 	}
 	st, err := run.Run(rctx, gen, fn)
 	cancel()

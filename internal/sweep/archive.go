@@ -114,6 +114,12 @@ type ArchiveRun struct {
 	// committing it. Distributed workers use it as a fencing check
 	// ("do I still hold the lease?") at the last possible moment.
 	BeforeSeal func() error
+	// Codec selects the record codec of the shards this run writes.
+	// The zero value is the archive default (delta compression);
+	// resumed runs may mix codecs freely in one directory, since every
+	// record is self-describing and resume matches on point indices,
+	// not bytes.
+	Codec archive.Codec
 }
 
 // Run executes the configured archive sweep. Semantics match
@@ -252,7 +258,7 @@ func (r ArchiveRun) Run(ctx context.Context, gen func(i int) []float64, fn Archi
 				sealedShards.Add(1)
 			}()
 			var err error
-			aw, err = archive.CreateAny(dir, claim)
+			aw, err = archive.CreateAnyWith(dir, claim, r.Codec)
 			if err != nil {
 				fail("sweep: creating shard: %w", err)
 				return
