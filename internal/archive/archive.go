@@ -91,6 +91,10 @@ func shardName(id int) string { return fmt.Sprintf("shard-%05d.pom", id) }
 // ShardPattern globs the completed shards of an archive directory.
 func ShardPattern(dir string) string { return filepath.Join(dir, "shard-*.pom") }
 
+// ShardPath returns the committed path of the given shard id in dir —
+// the file OpenShard expects once the shard's writer has Closed.
+func ShardPath(dir string, shard int) string { return filepath.Join(dir, shardName(shard)) }
+
 // TmpPattern globs the in-progress (or crash-littered) shard files.
 func TmpPattern(dir string) string { return filepath.Join(dir, "shard-*.pom.tmp") }
 
@@ -122,6 +126,7 @@ func NextShard(dir string) (int, error) {
 // *.tmp name atomically renamed to the final one.
 type Writer struct {
 	dir     string
+	shard   int    // shard id (the NNNNN of shard-NNNNN.pom)
 	path    string // final path
 	tmp     string // in-progress path
 	f       *os.File
@@ -201,7 +206,7 @@ func create(dir string, shard, version int, codec Codec) (*Writer, error) {
 		return nil, fmt.Errorf("archive: creating shard (already being written by another run?): %w", err)
 	}
 	w := &Writer{
-		dir: dir, path: path, tmp: tmp, f: f,
+		dir: dir, shard: shard, path: path, tmp: tmp, f: f,
 		bw:      bufio.NewWriterSize(f, 1<<16),
 		version: version,
 		codec:   codec.resolve(),
@@ -242,6 +247,11 @@ func CreateAnyWith(dir string, from int, codec Codec) (*Writer, error) {
 
 // Path returns the shard's final (post-Close) path.
 func (w *Writer) Path() string { return w.path }
+
+// Shard returns the writer's shard id — the id CreateAny settled on,
+// which callers that address single-record shards by id (the pomsimd
+// result cache) persist alongside their own index.
+func (w *Writer) Shard() int { return w.shard }
 
 // TmpPath returns the shard's in-progress (pre-Close) path. Runs that
 // share a directory use it to keep a live writer's tmp file fresh

@@ -235,34 +235,34 @@ func linstabTEnd(s *Spec) float64 {
 func validateTorus2D(s *Spec) error {
 	t := s.Torus2D
 	if t == nil {
-		return fmt.Errorf("scenario: family %q needs a torus2d section", "torus2d")
+		return fieldErrf("torus2d", "scenario: family %q needs a torus2d section", "torus2d")
 	}
 	if t.NX < 2 || t.NY < 2 {
-		return fmt.Errorf("scenario: torus2d needs nx, ny >= 2, got %dx%d", t.NX, t.NY)
+		return fieldErrf("torus2d.nx", "scenario: torus2d needs nx, ny >= 2, got %dx%d", t.NX, t.NY)
 	}
 	if t.Radius < 0 || t.Radius >= t.NX+t.NY {
-		return fmt.Errorf("scenario: torus2d radius %d out of range for %dx%d", t.Radius, t.NX, t.NY)
+		return fieldErrf("torus2d.radius", "scenario: torus2d radius %d out of range for %dx%d", t.Radius, t.NX, t.NY)
 	}
 	if !(t.TComp+t.TComm > 0) || math.IsInf(t.TComp+t.TComm, 0) ||
 		t.TComp < 0 || t.TComm < 0 {
-		return fmt.Errorf("scenario: torus2d needs tcomp + tcomm > 0 with nonnegative finite parts")
+		return fieldErrf("torus2d.tcomp", "scenario: torus2d needs tcomp + tcomm > 0 with nonnegative finite parts")
 	}
-	if err := t.Potential.validate(); err != nil {
+	if err := t.Potential.validate("torus2d.potential"); err != nil {
 		return err
 	}
 	switch t.Init {
 	case "", "sync", "desync", "random":
 	default:
-		return fmt.Errorf("scenario: unknown init %q", t.Init)
+		return fieldErrf("torus2d.init", "scenario: unknown init %q", t.Init)
 	}
-	if err := validateJitter(t.Jitter); err != nil {
+	if err := validateJitter(t.Jitter, "torus2d.jitter"); err != nil {
 		return err
 	}
-	if err := validateDelays(t.Delays, t.NX*t.NY); err != nil {
+	if err := validateDelays(t.Delays, t.NX*t.NY, "torus2d.delays"); err != nil {
 		return err
 	}
 	if t.CommLag < 0 || math.IsNaN(t.CommLag) || math.IsInf(t.CommLag, 0) {
-		return fmt.Errorf("scenario: bad comm_lag %v", t.CommLag)
+		return fieldErrf("torus2d.comm_lag", "scenario: bad comm_lag %v", t.CommLag)
 	}
 	return nil
 }
@@ -294,13 +294,13 @@ func buildTorus2D(s *Spec) (sim.System, error) {
 func validateLinstab(s *Spec) error {
 	l := s.Linstab
 	if l == nil {
-		return fmt.Errorf("scenario: family %q needs a linstab section", "linstab")
+		return fieldErrf("linstab", "scenario: family %q needs a linstab section", "linstab")
 	}
 	if l.N < 2 {
-		return fmt.Errorf("scenario: linstab needs n >= 2, got %d", l.N)
+		return fieldErrf("linstab.n", "scenario: linstab needs n >= 2, got %d", l.N)
 	}
 	if len(l.Offsets) == 0 {
-		return fmt.Errorf("scenario: linstab needs a stencil")
+		return fieldErrf("linstab.offsets", "scenario: linstab needs a stencil")
 	}
 	// The spectral analysis needs a symmetric topology; catch asymmetric
 	// stencils here so Validate is a true no-build pre-flight rather than
@@ -309,31 +309,31 @@ func validateLinstab(s *Spec) error {
 	// offset list on a ring) and cheap at validation scale.
 	tp, err := topology.Stencil(l.N, l.Offsets, l.Periodic)
 	if err != nil {
-		return err
+		return fieldErr("linstab.offsets", err)
 	}
 	if !tp.IsSymmetric() {
-		return fmt.Errorf("scenario: linstab stencil %v is not symmetric (spectral analysis needs a symmetric topology)", l.Offsets)
+		return fieldErrf("linstab.offsets", "scenario: linstab stencil %v is not symmetric (spectral analysis needs a symmetric topology)", l.Offsets)
 	}
-	if err := l.Potential.validate(); err != nil {
+	if err := l.Potential.validate("linstab.potential"); err != nil {
 		return err
 	}
 	if l.K < 0 || math.IsNaN(l.K) || math.IsInf(l.K, 0) {
-		return fmt.Errorf("scenario: bad linstab coupling %v", l.K)
+		return fieldErrf("linstab.k", "scenario: bad linstab coupling %v", l.K)
 	}
 	switch l.Scan {
 	case "", "gap", "coupling":
 	default:
-		return fmt.Errorf("scenario: unknown linstab scan %q", l.Scan)
+		return fieldErrf("linstab.scan", "scenario: unknown linstab scan %q", l.Scan)
 	}
 	if math.IsNaN(l.From) || math.IsInf(l.From, 0) ||
 		math.IsNaN(l.To) || math.IsInf(l.To, 0) || !(l.To > l.From) {
-		return fmt.Errorf("scenario: linstab scan range [%v, %v] must be finite and increasing", l.From, l.To)
+		return fieldErrf("linstab.from", "scenario: linstab scan range [%v, %v] must be finite and increasing", l.From, l.To)
 	}
 	if l.Points != 0 && l.Points < 2 {
-		return fmt.Errorf("scenario: linstab needs points >= 2, got %d", l.Points)
+		return fieldErrf("linstab.points", "scenario: linstab needs points >= 2, got %d", l.Points)
 	}
 	if math.IsNaN(l.Gap) || math.IsInf(l.Gap, 0) {
-		return fmt.Errorf("scenario: bad linstab gap %v", l.Gap)
+		return fieldErrf("linstab.gap", "scenario: bad linstab gap %v", l.Gap)
 	}
 	return nil
 }
@@ -438,52 +438,52 @@ func clusterMachine(c *ClusterSpec) (cluster.MachineConfig, error) {
 func validateCluster(s *Spec) error {
 	c := s.Cluster
 	if c == nil {
-		return fmt.Errorf("scenario: family %q needs a cluster section", "cluster")
+		return fieldErrf("cluster", "scenario: family %q needs a cluster section", "cluster")
 	}
 	if c.N < 2 {
-		return fmt.Errorf("scenario: cluster needs n >= 2, got %d", c.N)
+		return fieldErrf("cluster.n", "scenario: cluster needs n >= 2, got %d", c.N)
 	}
 	if c.Iters < 1 {
-		return fmt.Errorf("scenario: cluster needs iters >= 1, got %d", c.Iters)
+		return fieldErrf("cluster.iters", "scenario: cluster needs iters >= 1, got %d", c.Iters)
 	}
 	if c.Sockets < 0 {
-		return fmt.Errorf("scenario: negative sockets %d", c.Sockets)
+		return fieldErrf("cluster.sockets", "scenario: negative sockets %d", c.Sockets)
 	}
 	mc, err := clusterMachine(c)
 	if err != nil {
-		return err
+		return fieldErr("cluster.machine", err)
 	}
 	if c.N > mc.Cores() {
-		return fmt.Errorf("scenario: cluster needs %d ranks but %s with %d socket(s) has %d cores",
+		return fieldErrf("cluster.n", "scenario: cluster needs %d ranks but %s with %d socket(s) has %d cores",
 			c.N, mc.Name, mc.Sockets, mc.Cores())
 	}
 	if c.ComputeSeconds < 0 || math.IsNaN(c.ComputeSeconds) || math.IsInf(c.ComputeSeconds, 0) {
-		return fmt.Errorf("scenario: bad compute_seconds %v", c.ComputeSeconds)
+		return fieldErrf("cluster.compute_seconds", "scenario: bad compute_seconds %v", c.ComputeSeconds)
 	}
 	if c.ComputeBytes < 0 || math.IsNaN(c.ComputeBytes) || math.IsInf(c.ComputeBytes, 0) {
-		return fmt.Errorf("scenario: bad compute_bytes %v", c.ComputeBytes)
+		return fieldErrf("cluster.compute_bytes", "scenario: bad compute_bytes %v", c.ComputeBytes)
 	}
 	if _, err := clusterWorkload(c); err != nil {
-		return err
+		return fieldErr("cluster.kernel", err)
 	}
 	// Validate is the no-build pre-flight: check the (effective) stencil
 	// here so a bad offset list fails before any sweep work, not from
 	// the first BuildSystem mid-sweep.
 	if _, err := topology.Stencil(c.N, c.stencilOffsets(), c.Periodic); err != nil {
-		return err
+		return fieldErr("cluster.offsets", err)
 	}
 	if c.MsgBytes < 0 || math.IsNaN(c.MsgBytes) || math.IsInf(c.MsgBytes, 0) {
-		return fmt.Errorf("scenario: bad msg_bytes %v", c.MsgBytes)
+		return fieldErrf("cluster.msg_bytes", "scenario: bad msg_bytes %v", c.MsgBytes)
 	}
 	for i, d := range c.Delays {
 		if d.Rank < 0 || d.Rank >= c.N {
-			return fmt.Errorf("scenario: cluster delay %d rank %d out of range", i, d.Rank)
+			return fieldErrf(fmt.Sprintf("cluster.delays[%d].rank", i), "scenario: cluster delay %d rank %d out of range", i, d.Rank)
 		}
 		if d.Iter < 0 || d.Iter >= c.Iters {
-			return fmt.Errorf("scenario: cluster delay %d iter %d out of range", i, d.Iter)
+			return fieldErrf(fmt.Sprintf("cluster.delays[%d].iter", i), "scenario: cluster delay %d iter %d out of range", i, d.Iter)
 		}
 		if !(d.Extra > 0) || math.IsInf(d.Extra, 0) {
-			return fmt.Errorf("scenario: cluster delay %d needs finite extra > 0", i)
+			return fieldErrf(fmt.Sprintf("cluster.delays[%d].extra", i), "scenario: cluster delay %d needs finite extra > 0", i)
 		}
 	}
 	return nil

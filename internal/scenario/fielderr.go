@@ -1,0 +1,43 @@
+package scenario
+
+import "fmt"
+
+// FieldError is a validation error tied to the spec field that caused
+// it. Path names the offending field on the JSON surface SCENARIOS.md
+// documents, rooted at the spec object — "potential.sigma",
+// "kuramoto.n", "cluster.delays[2].rank" — so programmatic callers
+// (the pomsimd HTTP API maps these to 400 responses with the field
+// attached) can point at the exact input instead of parroting an
+// opaque message.
+type FieldError struct {
+	// Path is the dotted JSON path of the offending field.
+	Path string
+	// Err is the underlying validation error.
+	Err error
+}
+
+// Error reports the underlying message with the field path appended.
+func (e *FieldError) Error() string {
+	return e.Err.Error() + " (field " + e.Path + ")"
+}
+
+// Unwrap exposes the underlying error to errors.Is/As chains.
+func (e *FieldError) Unwrap() error { return e.Err }
+
+// fieldErrf builds a FieldError for path from a fresh formatted error.
+func fieldErrf(path, format string, args ...any) error {
+	return &FieldError{Path: path, Err: fmt.Errorf(format, args...)}
+}
+
+// fieldErr attaches path to an existing error. A nil error passes
+// through; an error that already carries a field path is kept as-is
+// (the deeper path is the more precise one).
+func fieldErr(path string, err error) error {
+	if err == nil {
+		return nil
+	}
+	if _, ok := err.(*FieldError); ok {
+		return err
+	}
+	return &FieldError{Path: path, Err: err}
+}

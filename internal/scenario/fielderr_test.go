@@ -1,0 +1,48 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestValidationFieldPaths pins that validation failures carry the
+// offending field's config path — one invalid document per family, plus
+// the shared surfaces (family, run controls, nested jitter/delay
+// paths). The HTTP layer surfaces these paths in its 400 bodies, so a
+// path regression here is an API regression there.
+func TestValidationFieldPaths(t *testing.T) {
+	for _, tc := range []struct {
+		name, doc, path string
+	}{
+		{"pom sigma", `{"n":8,"tcomp":0.8,"tcomm":0.2,"potential":{"kind":"desync","sigma":-1},"offsets":[-1,1]}`, "potential.sigma"},
+		{"pom n", `{"n":1,"tcomp":0.8,"tcomm":0.2,"potential":{"kind":"tanh"},"offsets":[-1,1]}`, "n"},
+		{"pom delay rank", `{"n":8,"tcomp":0.8,"tcomm":0.2,"potential":{"kind":"tanh"},"offsets":[-1,1],"delays":[{"rank":99,"start":1,"duration":1}]}`, "delays[0].rank"},
+		{"pom jitter dist", `{"n":8,"tcomp":0.8,"tcomm":0.2,"potential":{"kind":"tanh"},"offsets":[-1,1],"jitter":{"dist":"weird","amp":0.1}}`, "jitter.dist"},
+		{"kuramoto n", `{"family":"kuramoto","kuramoto":{"n":1,"k":1}}`, "kuramoto.n"},
+		{"continuum k", `{"family":"continuum","continuum":{"m":32,"a":0.5,"k":-1,"potential":{"kind":"tanh"}}}`, "continuum.k"},
+		{"torus2d nx", `{"family":"torus2d","torus2d":{"nx":1,"ny":4,"tcomp":0.8,"tcomm":0.2,"potential":{"kind":"tanh"},"radius":1}}`, "torus2d.nx"},
+		{"linstab range", `{"family":"linstab","linstab":{"n":8,"offsets":[-1,1],"potential":{"kind":"tanh"},"from":2,"to":1}}`, "linstab.from"},
+		{"cluster iters", `{"family":"cluster","cluster":{"n":4,"iters":0}}`, "cluster.iters"},
+		{"unknown family", `{"family":"nope"}`, "family"},
+		{"bad samples", `{"n":8,"tcomp":0.8,"tcomm":0.2,"potential":{"kind":"tanh"},"offsets":[-1,1],"samples":-1}`, "samples"},
+	} {
+		_, err := Load(bytes.NewReader([]byte(tc.doc)))
+		if err == nil {
+			t.Errorf("%s: document validated, want error", tc.name)
+			continue
+		}
+		var fe *FieldError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: error %q carries no FieldError", tc.name, err)
+			continue
+		}
+		if fe.Path != tc.path {
+			t.Errorf("%s: field path %q, want %q (error: %v)", tc.name, fe.Path, tc.path, err)
+		}
+		if !strings.Contains(err.Error(), "(field "+tc.path+")") {
+			t.Errorf("%s: error text %q does not name the field path", tc.name, err)
+		}
+	}
+}

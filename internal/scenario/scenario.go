@@ -25,19 +25,21 @@ type PotentialSpec struct {
 	Sigma float64 `json:"sigma,omitempty"`
 }
 
-// validate checks the potential selection. The sigma check is written
-// NaN-proof (`!(x > 0)` rather than `x <= 0`): JSON cannot encode NaN,
-// but Go callers construct specs directly and a NaN horizon would
-// silently poison every potential evaluation.
-func (p PotentialSpec) validate() error {
+// validate checks the potential selection; path is the JSON path of the
+// potential block ("potential", "continuum.potential", …) that failing
+// fields are reported under. The sigma check is written NaN-proof
+// (`!(x > 0)` rather than `x <= 0`): JSON cannot encode NaN, but Go
+// callers construct specs directly and a NaN horizon would silently
+// poison every potential evaluation.
+func (p PotentialSpec) validate(path string) error {
 	switch p.Kind {
 	case "tanh", "kuramoto":
 	case "desync":
 		if !(p.Sigma > 0) || math.IsInf(p.Sigma, 0) {
-			return fmt.Errorf("scenario: desync potential needs finite sigma > 0, got %v", p.Sigma)
+			return fieldErrf(path+".sigma", "scenario: desync potential needs finite sigma > 0, got %v", p.Sigma)
 		}
 	default:
-		return fmt.Errorf("scenario: unknown potential %q", p.Kind)
+		return fieldErrf(path+".kind", "scenario: unknown potential %q", p.Kind)
 	}
 	return nil
 }
@@ -219,7 +221,7 @@ func (s *Spec) family() (string, FamilyDef, error) {
 	}
 	def, ok := families[name]
 	if !ok {
-		return "", FamilyDef{}, fmt.Errorf("scenario: unknown family %q (registered: %v)", name, Families())
+		return "", FamilyDef{}, fieldErrf("family", "scenario: unknown family %q (registered: %v)", name, Families())
 	}
 	return name, def, nil
 }
@@ -232,10 +234,10 @@ func (s *Spec) family() (string, FamilyDef, error) {
 // saved specs).
 func (s *Spec) validateControls(family string) error {
 	if s.TEnd < 0 || math.IsNaN(s.TEnd) || math.IsInf(s.TEnd, 0) {
-		return fmt.Errorf("scenario: bad t_end %v", s.TEnd)
+		return fieldErrf("t_end", "scenario: bad t_end %v", s.TEnd)
 	}
 	if s.Samples < 0 {
-		return fmt.Errorf("scenario: negative samples %d", s.Samples)
+		return fieldErrf("samples", "scenario: negative samples %d", s.Samples)
 	}
 	sections := []struct {
 		name string
@@ -249,10 +251,18 @@ func (s *Spec) validateControls(family string) error {
 	}
 	for _, sec := range sections {
 		if sec.set && sec.name != family {
-			return fmt.Errorf("scenario: family %q must not carry a %q section", family, sec.name)
+			return fieldErrf(sec.name, "scenario: family %q must not carry a %q section", family, sec.name)
 		}
 	}
 	return nil
+}
+
+// FamilyName returns the spec's resolved family name (the empty name
+// resolves to "pom"). Unknown families return the same field error as
+// Validate.
+func (s *Spec) FamilyName() (string, error) {
+	name, _, err := s.family()
+	return name, err
 }
 
 // Validate checks the spec without building it.
@@ -350,30 +360,30 @@ func init() {
 // validatePOM checks the POM-family (top-level) fields.
 func validatePOM(s *Spec) error {
 	if s.N < 2 {
-		return fmt.Errorf("scenario: need n >= 2, got %d", s.N)
+		return fieldErrf("n", "scenario: need n >= 2, got %d", s.N)
 	}
 	if s.TComp+s.TComm <= 0 {
-		return fmt.Errorf("scenario: need tcomp + tcomm > 0")
+		return fieldErrf("tcomp", "scenario: need tcomp + tcomm > 0")
 	}
-	if err := s.Potential.validate(); err != nil {
+	if err := s.Potential.validate("potential"); err != nil {
 		return err
 	}
 	if len(s.Offsets) == 0 {
-		return fmt.Errorf("scenario: empty stencil")
+		return fieldErrf("offsets", "scenario: empty stencil")
 	}
 	switch s.Init {
 	case "", "sync", "desync", "random":
 	default:
-		return fmt.Errorf("scenario: unknown init %q", s.Init)
+		return fieldErrf("init", "scenario: unknown init %q", s.Init)
 	}
-	if err := validateJitter(s.Jitter); err != nil {
+	if err := validateJitter(s.Jitter, "jitter"); err != nil {
 		return err
 	}
-	return validateDelays(s.Delays, s.N)
+	return validateDelays(s.Delays, s.N, "delays")
 }
 
 // validateJitter checks a jitter block (shared by the POM-like families).
-func validateJitter(j *JitterSpec) error {
+func validateJitter(j *JitterSpec, path string) error {
 	if j == nil {
 		return nil
 	}
@@ -381,19 +391,19 @@ func validateJitter(j *JitterSpec) error {
 	case "gaussian", "uniform", "exponential":
 		return nil
 	default:
-		return fmt.Errorf("scenario: unknown jitter dist %q", j.Dist)
+		return fieldErrf(path+".dist", "scenario: unknown jitter dist %q", j.Dist)
 	}
 }
 
 // validateDelays checks a delay list against the rank count (shared by
 // the POM-like families).
-func validateDelays(delays []DelaySpec, n int) error {
+func validateDelays(delays []DelaySpec, n int, path string) error {
 	for i, d := range delays {
 		if d.Rank < 0 || d.Rank >= n {
-			return fmt.Errorf("scenario: delay %d rank %d out of range", i, d.Rank)
+			return fieldErrf(fmt.Sprintf("%s[%d].rank", path, i), "scenario: delay %d rank %d out of range", i, d.Rank)
 		}
 		if d.Duration <= 0 {
-			return fmt.Errorf("scenario: delay %d needs positive duration", i)
+			return fieldErrf(fmt.Sprintf("%s[%d].duration", path, i), "scenario: delay %d needs positive duration", i)
 		}
 	}
 	return nil
@@ -403,16 +413,16 @@ func validateDelays(delays []DelaySpec, n int) error {
 func validateKuramoto(s *Spec) error {
 	k := s.Kuramoto
 	if k == nil {
-		return fmt.Errorf("scenario: family %q needs a kuramoto section", "kuramoto")
+		return fieldErrf("kuramoto", "scenario: family %q needs a kuramoto section", "kuramoto")
 	}
 	if k.N < 2 {
-		return fmt.Errorf("scenario: kuramoto needs n >= 2, got %d", k.N)
+		return fieldErrf("kuramoto.n", "scenario: kuramoto needs n >= 2, got %d", k.N)
 	}
 	if k.K < 0 || math.IsNaN(k.K) || math.IsInf(k.K, 0) {
-		return fmt.Errorf("scenario: bad kuramoto coupling %v", k.K)
+		return fieldErrf("kuramoto.k", "scenario: bad kuramoto coupling %v", k.K)
 	}
 	if k.FreqStd < 0 || math.IsNaN(k.FreqStd) || math.IsInf(k.FreqStd, 0) {
-		return fmt.Errorf("scenario: bad kuramoto freq_std %v", k.FreqStd)
+		return fieldErrf("kuramoto.freq_std", "scenario: bad kuramoto freq_std %v", k.FreqStd)
 	}
 	return nil
 }
@@ -421,31 +431,31 @@ func validateKuramoto(s *Spec) error {
 func validateContinuum(s *Spec) error {
 	c := s.Continuum
 	if c == nil {
-		return fmt.Errorf("scenario: family %q needs a continuum section", "continuum")
+		return fieldErrf("continuum", "scenario: family %q needs a continuum section", "continuum")
 	}
 	if err := (continuum.Grid{M: c.M, A: c.A, Periodic: c.Periodic}).Validate(); err != nil {
-		return err
+		return fieldErr("continuum.m", err)
 	}
 	if c.K < 0 || math.IsNaN(c.K) || math.IsInf(c.K, 0) {
-		return fmt.Errorf("scenario: bad continuum coupling %v", c.K)
+		return fieldErrf("continuum.k", "scenario: bad continuum coupling %v", c.K)
 	}
-	if err := c.Potential.validate(); err != nil {
+	if err := c.Potential.validate("continuum.potential"); err != nil {
 		return err
 	}
 	switch c.Init {
 	case "", "flat", "pulse":
 	default:
-		return fmt.Errorf("scenario: unknown continuum init %q", c.Init)
+		return fieldErrf("continuum.init", "scenario: unknown continuum init %q", c.Init)
 	}
 	if c.Init == "pulse" {
 		if c.PulseAmp == 0 || math.IsNaN(c.PulseAmp) || math.IsInf(c.PulseAmp, 0) {
-			return fmt.Errorf("scenario: continuum pulse init needs finite pulse_amp != 0, got %v", c.PulseAmp)
+			return fieldErrf("continuum.pulse_amp", "scenario: continuum pulse init needs finite pulse_amp != 0, got %v", c.PulseAmp)
 		}
 		if math.IsNaN(c.PulseCenter) || math.IsInf(c.PulseCenter, 0) {
-			return fmt.Errorf("scenario: bad pulse_center %v", c.PulseCenter)
+			return fieldErrf("continuum.pulse_center", "scenario: bad pulse_center %v", c.PulseCenter)
 		}
 		if c.PulseWidth < 0 || math.IsNaN(c.PulseWidth) || math.IsInf(c.PulseWidth, 0) {
-			return fmt.Errorf("scenario: pulse_width must be finite and nonnegative, got %v", c.PulseWidth)
+			return fieldErrf("continuum.pulse_width", "scenario: pulse_width must be finite and nonnegative, got %v", c.PulseWidth)
 		}
 	}
 	return nil

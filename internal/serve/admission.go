@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Admission decides whether a new job may enter the queue — the
+// control-plane gate between "request arrived" and "work admitted"
+// (the ClusterArrival → AdmissionDecision shape). Implementations must
+// be safe for concurrent use and must derive every decision from the
+// passed-in time only, never from a clock of their own, so behavior is
+// deterministic under an injected Clock.
+//
+// Cache hits and coalesced requests bypass admission: they cost a disk
+// read or a buffer follow, not a worker, so throttling them would only
+// punish the cheapest requests.
+type Admission interface {
+	// Admit reports whether one job may be admitted at time now. When
+	// it refuses, retryAfter > 0 advises when capacity will exist
+	// (surfaced as the HTTP Retry-After header); retryAfter == 0 means
+	// the policy cannot say.
+	Admit(now time.Time) (ok bool, retryAfter time.Duration)
+}
+
+// AlwaysAdmit admits every request — the policy for trusted or
+// load-test deployments, and the neutral default.
+type AlwaysAdmit struct{}
+
+// Admit implements Admission.
+func (AlwaysAdmit) Admit(time.Time) (bool, time.Duration) { return true, 0 }
+
+// TokenBucket is the classic rate limiter: a bucket of burst tokens
+// refilled at rate tokens/second; each admitted job consumes one. All
+// state advances off the caller-supplied now, so a fixed clock yields
+// exactly burst admissions no matter how requests interleave, and
+// advancing the clock by Δt yields exactly floor(previous fraction +
+// Δt·rate) more — the determinism the chaos suite pins.
+type TokenBucket struct {
+	mu     sync.Mutex
+	burst  float64
+	rate   float64 // tokens per second
+	tokens float64
+	last   time.Time
+	primed bool
+}
+
+// NewTokenBucket returns a full bucket of burst tokens refilling at
+// rate tokens/second. It panics on burst < 1 or a negative/non-finite
+// rate — construction errors are programmer errors. rate == 0 is a
+// pure burst budget that never refills.
+func NewTokenBucket(burst int, rate float64) *TokenBucket {
+	if burst < 1 || rate < 0 || rate != rate || rate > 1e18 {
+		panic(fmt.Sprintf("serve: bad token bucket burst=%d rate=%v", burst, rate))
+	}
+	return &TokenBucket{burst: float64(burst), rate: rate}
+}
+
+// Admit implements Admission.
+func (b *TokenBucket) Admit(now time.Time) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.primed {
+		// The bucket starts full at the first observed time; there is
+		// no construction-time clock read.
+		b.tokens = b.burst
+		b.last = now
+		b.primed = true
+	}
+	if d := now.Sub(b.last); d > 0 {
+		b.tokens += d.Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if b.rate <= 0 {
+		return false, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// RejectedError is the typed admission refusal: the handler layer maps
+// it to HTTP 429 with Retry-After when the policy could estimate one.
+type RejectedError struct {
+	// RetryAfter advises when to retry; 0 means no estimate.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *RejectedError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("serve: admission rejected, retry after %s", e.RetryAfter)
+	}
+	return "serve: admission rejected"
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// rowBuffer is the live broadcast buffer of one running job: the worker
+// appends rendered NDJSON row bytes, and any number of HTTP streams
+// follow it concurrently at their own offsets. Appends never block on
+// readers (a stalled client can never stall the simulation), and
+// readers wait on a change channel so following costs nothing while no
+// new rows exist. After close the full body stays readable — a client
+// that attached late, or re-reads a finished job, replays from byte 0.
+type rowBuffer struct {
+	mu      sync.Mutex
+	data    []byte
+	rows    int
+	changed chan struct{} // closed and replaced on every append; closed for good on close
+	done    bool
+	err     error // terminal status: nil, or the run's failure/cancellation
+}
+
+func newRowBuffer() *rowBuffer {
+	return &rowBuffer{changed: make(chan struct{})}
+}
+
+// append copies one rendered row into the buffer and wakes followers.
+// p is owned by the caller and copied, so the worker's scratch buffer
+// is free to be reused (the sink buffer-reuse contract).
+func (b *rowBuffer) append(p []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.done {
+		return
+	}
+	b.data = append(b.data, p...)
+	b.rows++
+	close(b.changed)
+	b.changed = make(chan struct{})
+}
+
+// close marks the stream complete (err nil) or terminated (err the
+// failure or cancellation) and wakes all followers for the last time.
+func (b *rowBuffer) close(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.done {
+		return
+	}
+	b.done = true
+	b.err = err
+	close(b.changed)
+}
+
+// next returns the bytes past off, plus either a terminal flag or a
+// channel that closes when more data (or the terminal state) arrives.
+func (b *rowBuffer) next(off int) (chunk []byte, wait <-chan struct{}, done bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if off > len(b.data) {
+		off = len(b.data)
+	}
+	chunk = b.data[off:]
+	if b.done {
+		return chunk, nil, true, b.err
+	}
+	return chunk, b.changed, false, nil
+}
+
+// snapshotRows returns the rows appended so far.
+func (b *rowBuffer) snapshotRows() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rows
+}
+
+// follow streams the buffer to emit from offset off until the buffer
+// completes or ctx is canceled. emit must not block indefinitely; it
+// returns false to stop early (write error — the client is gone).
+// follow returns the final offset, whether the stream completed, and
+// the buffer's terminal error when it did.
+func (b *rowBuffer) follow(ctx context.Context, off int, emit func([]byte) bool) (int, bool, error) {
+	for {
+		chunk, wait, done, err := b.next(off)
+		if len(chunk) > 0 {
+			if !emit(chunk) {
+				return off, false, nil
+			}
+			off += len(chunk)
+		}
+		if done {
+			return off, true, err
+		}
+		select {
+		case <-ctx.Done():
+			return off, false, nil
+		case <-wait:
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts "what time is it" for the pieces of the service that
+// legitimately need one: admission control and snapshot staleness. It
+// is injected at construction so this package contains no wall-clock
+// reads at all (the pomvet wallclock invariant) — cmd/pomsimd passes a
+// real clock behind the one sanctioned //pomvet:allow wallclock site,
+// and tests pass a FakeClock, which is what makes token-bucket
+// behavior deterministically testable. The simulation run path never
+// touches the Clock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+}
+
+// FakeClock is a manually-advanced Clock for tests: time moves only
+// when the test says so, which pins admission decisions exactly.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock returns a FakeClock frozen at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{t: start}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}

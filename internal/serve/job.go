@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job lifecycle: Queued → Running → one of Done / Failed / Canceled.
+// A cache-hit submission is born Done with Cached set — it never
+// occupies a worker.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Job is one submitted scenario run.
+type Job struct {
+	// ID is the server-assigned job id ("j-000042").
+	ID string
+	// Hash is the canonical spec hash — the cache key.
+	Hash string
+	// Family is the resolved scenario family.
+	Family string
+	// Spec is the validated scenario.
+	Spec *scenario.Spec
+	// SubmittedAt is the admission-clock time of submission.
+	SubmittedAt time.Time
+
+	// ctx governs the run; cancel is the explicit-cancellation hook
+	// (DELETE /v1/jobs/{id}). Client disconnects do NOT cancel ctx.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// buf is the live broadcast stream (nil for cache-hit jobs, whose
+	// body reads come straight from the archive).
+	buf *rowBuffer
+
+	mu     chan struct{} // 1-buffered mutex token; held across state edits
+	state  JobState
+	err    error
+	cached bool // answered from the result cache without executing
+}
+
+// newJob builds a queued job. The context derives from parent (the
+// server's lifetime) so shutdown aborts in-flight runs.
+func newJob(parent context.Context, id, hash, family string, spec *scenario.Spec, at time.Time) *Job {
+	ctx, cancel := context.WithCancel(parent)
+	j := &Job{
+		ID: id, Hash: hash, Family: family, Spec: spec, SubmittedAt: at,
+		ctx: ctx, cancel: cancel,
+		buf:   newRowBuffer(),
+		mu:    make(chan struct{}, 1),
+		state: StateQueued,
+	}
+	return j
+}
+
+// newCachedJob builds the Done-at-birth record of a cache-hit
+// submission, kept so the job API can report it like any other job.
+func newCachedJob(id, hash, family string, spec *scenario.Spec, at time.Time) *Job {
+	j := &Job{
+		ID: id, Hash: hash, Family: family, Spec: spec, SubmittedAt: at,
+		mu:     make(chan struct{}, 1),
+		state:  StateDone,
+		cached: true,
+	}
+	return j
+}
+
+func (j *Job) lock()   { j.mu <- struct{}{} }
+func (j *Job) unlock() { <-j.mu }
+
+// State returns the job's current state and terminal error (nil unless
+// Failed).
+func (j *Job) State() (JobState, error) {
+	j.lock()
+	defer j.unlock()
+	return j.state, j.err
+}
+
+// Cached reports whether the job was answered from the result cache
+// without an execution.
+func (j *Job) Cached() bool {
+	j.lock()
+	defer j.unlock()
+	return j.cached
+}
+
+// Rows returns the number of rows streamed so far (0 for cache-hit
+// jobs, whose rows never pass through a live buffer).
+func (j *Job) Rows() int {
+	if j.buf == nil {
+		return 0
+	}
+	return j.buf.snapshotRows()
+}
+
+// Cancel requests cancellation. Queued jobs are skipped by the worker;
+// running jobs abort at their next sample row. Terminal jobs ignore it.
+func (j *Job) Cancel() {
+	if j.cancel != nil {
+		j.cancel()
+	}
+}
+
+// setState moves the job to state (with err for Failed).
+func (j *Job) setState(state JobState, err error) {
+	j.lock()
+	defer j.unlock()
+	j.state = state
+	j.err = err
+}
+
+// terminal reports whether the job has finished (any of the three end
+// states).
+func (j *Job) terminal() bool {
+	j.lock()
+	defer j.unlock()
+	return j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
+}

@@ -1,0 +1,30 @@
+package serve
+
+import "strconv"
+
+// AppendRow appends the NDJSON encoding of one sample row to dst and
+// returns the extended slice:
+//
+//	{"t":<t>,"y":[<y0>,<y1>,…]}\n
+//
+// Floats render with strconv's shortest round-trip form ('g', -1), so
+// the text parses back to the exact same bits and — critically — equal
+// float64 inputs always render to equal bytes. That single renderer is
+// what makes the service's byte-identity guarantees hold: a fresh run
+// renders rows straight off the solver's reused sample buffer, a cache
+// hit renders the bitwise-exact rows decoded from the archive, and the
+// two bodies match byte for byte. The e2e suite renders its direct
+// sim.Run reference through this same function.
+func AppendRow(dst []byte, t float64, y []float64) []byte {
+	dst = append(dst, `{"t":`...)
+	dst = strconv.AppendFloat(dst, t, 'g', -1, 64)
+	dst = append(dst, `,"y":[`...)
+	for i, v := range y {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
+	}
+	dst = append(dst, ']', '}', '\n')
+	return dst
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Snapshot is one immutable observation of the service's state. Readers
+// receive a pointer to a frozen value — nothing in it mutates after
+// publication, so handlers serialize it without holding any lock.
+type Snapshot struct {
+	// At is the injected-clock time the snapshot was built.
+	At time.Time
+	// QueueDepth is the number of jobs waiting for a worker.
+	QueueDepth int
+	// InFlight is the number of jobs currently executing.
+	InFlight int
+	// Jobs counts every submission accepted (including cache hits).
+	Jobs int
+	// Executions counts runs that actually occupied a worker.
+	Executions int
+	// CacheHits counts submissions answered from the result cache.
+	CacheHits int
+	// Coalesced counts submissions attached to an identical in-flight run.
+	Coalesced int
+	// Rejected counts admission refusals (HTTP 429).
+	Rejected int
+	// CacheEntries is the number of published cache entries.
+	CacheEntries int
+	// CacheHitRatio is CacheHits/Jobs (0 when no jobs yet).
+	CacheHitRatio float64
+	// PerFamily counts accepted submissions by scenario family.
+	PerFamily map[string]int
+}
+
+// snapshotProvider serves Snapshot values with a TTL: a read inside the
+// TTL returns the published pointer with a single atomic load, and the
+// first read past it rebuilds under a mutex (so concurrent stale reads
+// collapse into one rebuild). Staleness is judged against the injected
+// Clock — there is no ticker goroutine and no wall-clock read, which
+// keeps the package pomvet-clean and the rebuild cadence test-
+// controllable.
+type snapshotProvider struct {
+	ttl   time.Duration
+	build func(at time.Time) *Snapshot
+
+	cur     atomic.Pointer[Snapshot]
+	rebuild sync.Mutex
+}
+
+func newSnapshotProvider(ttl time.Duration, build func(at time.Time) *Snapshot) *snapshotProvider {
+	return &snapshotProvider{ttl: ttl, build: build}
+}
+
+// get returns the current snapshot, rebuilding if the published one is
+// older than the TTL at time now.
+func (p *snapshotProvider) get(now time.Time) *Snapshot {
+	if s := p.cur.Load(); s != nil && now.Sub(s.At) < p.ttl {
+		return s
+	}
+	p.rebuild.Lock()
+	defer p.rebuild.Unlock()
+	// Re-check: another goroutine may have rebuilt while we waited.
+	if s := p.cur.Load(); s != nil && now.Sub(s.At) < p.ttl {
+		return s
+	}
+	s := p.build(now)
+	p.cur.Store(s)
+	return s
+}
